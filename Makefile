@@ -1,0 +1,29 @@
+# Common development commands.
+
+.PHONY: install test bench report examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+test-output:
+	pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	pytest benchmarks/ --benchmark-only -s
+
+bench-output:
+	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+report:
+	python -c "from repro.experiments import ReportConfig, generate_report; \
+	open('EXPERIMENTS.md', 'w').write(generate_report(ReportConfig()) + '\n')"
+
+examples:
+	for script in examples/*.py; do echo "== $$script"; python $$script; done
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true
+	rm -rf src/repro.egg-info .pytest_cache .benchmarks

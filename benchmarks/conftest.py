@@ -1,0 +1,30 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one table or figure of the paper and prints a
+paper-style rendering (run pytest with ``-s`` to see them).  Dataset sizes
+are scaled to laptop runtimes via the ``scale`` constants below; shapes
+(who wins, how counts and times respond to min_sup, curve containment) are
+asserted, absolute numbers are reported.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Row-count scale for the Table 1/2 accuracy benchmarks.
+ACCURACY_SCALE = 0.5
+#: Outer CV folds for the accuracy benchmarks (paper: 10).
+ACCURACY_FOLDS = 3
+#: Row-count scales for the scalability benchmarks.
+CHESS_SCALE = 0.25
+WAVEFORM_SCALE = 0.15
+LETTER_SCALE = 0.05
+
+
+@pytest.fixture(scope="session")
+def report_lines():
+    """Collector that prints gathered report blocks at session end."""
+    lines: list[str] = []
+    yield lines
+    if lines:
+        print("\n" + "\n\n".join(lines))

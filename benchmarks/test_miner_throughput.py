@@ -1,0 +1,61 @@
+"""Microbenchmarks: miner throughput and the min_sup strategy primitives.
+
+Unlike the table/figure benches (single-shot experiment drivers), these are
+conventional repeated-timing benchmarks of the hot substrate operations:
+FP-growth vs Apriori vs the closed miners on the same workload, and the
+theta* bisection.
+"""
+
+import pytest
+
+from repro.datasets import TransactionDataset, load_uci
+from repro.measures import theta_star
+from repro.mining import apriori, charm, closed_fpgrowth, fpgrowth
+from repro.selection import mmrfs, suggest_min_support
+
+
+@pytest.fixture(scope="module")
+def workload():
+    data = TransactionDataset.from_dataset(load_uci("austral", scale=0.5))
+    return data
+
+
+def test_bench_apriori(benchmark, workload):
+    result = benchmark(apriori, workload.transactions, 35)
+    assert len(result) > 0
+
+
+def test_bench_fpgrowth(benchmark, workload):
+    result = benchmark(fpgrowth, workload.transactions, 35)
+    assert len(result) > 0
+
+
+def test_bench_closed_lcm(benchmark, workload):
+    result = benchmark(closed_fpgrowth, workload.transactions, 35)
+    assert len(result) > 0
+
+
+def test_bench_closed_charm(benchmark, workload):
+    result = benchmark(charm, workload.transactions, 35)
+    assert len(result) > 0
+
+
+def test_bench_theta_star(benchmark):
+    value = benchmark(theta_star, 0.05, 0.45)
+    assert 0.0 < value < 0.45
+
+
+def test_bench_suggest_min_support(benchmark, workload):
+    suggestion = benchmark(suggest_min_support, workload.labels, 0.05)
+    assert suggestion.absolute >= 1
+
+
+def test_bench_mmrfs(benchmark, workload):
+    from repro.mining import mine_class_patterns
+
+    mined = mine_class_patterns(workload, min_support=0.15)
+    result = benchmark.pedantic(
+        mmrfs, args=(mined.patterns, workload), kwargs=dict(delta=3),
+        rounds=3, iterations=1,
+    )
+    assert len(result) > 0

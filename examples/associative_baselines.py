@@ -1,0 +1,47 @@
+"""Pat_FS vs associative classification (paper Section 5).
+
+The paper distinguishes its framework from rule-based associative
+classifiers: here the same training data feeds CBA, CMAR, HARMONY and the
+frequent pattern-based SVM, and the holdout accuracies are compared — the
+Section 5 claim is that Pat_FS beats HARMONY (by up to ~12% on Waveform).
+
+Run:  python examples/associative_baselines.py
+"""
+
+from repro import FrequentPatternClassifier, LinearSVM, TransactionDataset, load_uci
+from repro.baselines import CBAClassifier, CMARClassifier, HarmonyClassifier
+from repro.eval import stratified_kfold
+
+
+def main() -> None:
+    for name, scale in (("waveform", 0.12), ("cleve", 1.0)):
+        data = TransactionDataset.from_dataset(load_uci(name, scale=scale))
+        train_idx, test_idx = stratified_kfold(data.labels, n_folds=3, seed=1)[0]
+        train, test = data.subset(train_idx), data.subset(test_idx)
+        print(f"\n=== {name} ({data.n_rows} rows, {data.n_classes} classes) ===")
+
+        models = {
+            "CBA": CBAClassifier(min_support=0.1, min_confidence=0.6),
+            "CMAR": CMARClassifier(min_support=0.1, min_confidence=0.55),
+            "HARMONY": HarmonyClassifier(min_support=0.1, min_confidence=0.55),
+        }
+        for label, model in models.items():
+            model.fit(train)
+            accuracy = (model.predict(test) == test.labels).mean()
+            print(
+                f"  {label:8s} accuracy = {100 * accuracy:6.2f}%"
+                f"  ({model.n_rules} rules)"
+            )
+
+        pat_fs = FrequentPatternClassifier(
+            min_support=0.1, delta=3, max_length=4, classifier=LinearSVM()
+        )
+        pat_fs.fit(train)
+        print(
+            f"  {'Pat_FS':8s} accuracy = {100 * pat_fs.score(test):6.2f}%"
+            f"  ({len(pat_fs.selected_patterns)} patterns)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""From raw numeric data to pattern-based classification.
+
+The paper assumes categorical data ("continuous values are discretized
+first", Section 2).  This example starts from a *numeric* matrix, runs
+Fayyad-Irani MDLP entropy discretization, itemizes the result, and feeds
+the standard pipeline — the full preprocessing path a practitioner needs.
+
+Run:  python examples/numeric_pipeline.py
+"""
+
+import numpy as np
+
+from repro import FrequentPatternClassifier, LinearSVM, TransactionDataset
+from repro.discretize import MDLP, discretize_table
+from repro.eval import stratified_kfold
+
+
+def make_numeric_data(n: int = 600, seed: int = 0):
+    """Two interleaved numeric classes where a *pair* of thresholds matters:
+    class 1 iff (x0 > 0) == (x1 > 0) — an XOR over sign bits, invisible to
+    any single numeric feature."""
+    rng = np.random.default_rng(seed)
+    matrix = rng.normal(size=(n, 5))
+    labels = ((matrix[:, 0] > 0) == (matrix[:, 1] > 0)).astype(int)
+    flip = rng.random(n) < 0.05
+    labels[flip] = 1 - labels[flip]
+    return matrix, labels
+
+
+def main() -> None:
+    matrix, labels = make_numeric_data()
+    print(f"numeric matrix: {matrix.shape}, classes: {np.bincount(labels)}")
+
+    dataset = discretize_table(
+        matrix,
+        labels,
+        MDLP(fallback_bins=3),
+        name="numeric-xor",
+        attribute_names=[f"x{j}" for j in range(matrix.shape[1])],
+    )
+    print(f"after MDLP discretization: {dataset}")
+    for attribute in dataset.attributes:
+        print(f"  {attribute.name}: {attribute.arity} bins")
+
+    data = TransactionDataset.from_dataset(dataset)
+    train_idx, test_idx = stratified_kfold(data.labels, n_folds=3, seed=0)[0]
+    train, test = data.subset(train_idx), data.subset(test_idx)
+
+    items_only = FrequentPatternClassifier(use_patterns=False, classifier=LinearSVM())
+    items_only.fit(train)
+    pat_fs = FrequentPatternClassifier(
+        min_support=0.1, delta=3, classifier=LinearSVM()
+    )
+    pat_fs.fit(train)
+
+    print(f"\nItem_All accuracy: {100 * items_only.score(test):.2f}%  (XOR is invisible)")
+    print(f"Pat_FS accuracy:   {100 * pat_fs.score(test):.2f}%  (patterns capture it)")
+    print("\ntop selected patterns:")
+    for feature in pat_fs.selection_result_.selected[:5]:
+        print(
+            f"  {data.catalog.describe(feature.pattern.items):40s}"
+            f" IG={feature.relevance:.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""A miniature Table 1/2: the five model variants on several datasets.
+
+Runs the paper's model columns (Item_All, Item_FS, Item_RBF, Pat_All,
+Pat_FS) with cross validation on a few UCI-shaped datasets, at reduced
+scale so it finishes in a couple of minutes.  The full-scale reproduction
+lives in benchmarks/test_table1_svm_accuracy.py.
+
+Run:  python examples/uci_study.py
+"""
+
+import time
+
+from repro.experiments import run_accuracy_table
+
+
+def main() -> None:
+    datasets = ["austral", "cleve", "breast", "heart"]
+    start = time.perf_counter()
+
+    print("SVM variants (Table 1 columns):")
+    svm_table = run_accuracy_table(
+        datasets, model="svm", n_folds=3, scale=0.5, seed=0
+    )
+    print(svm_table.render())
+    print(f"Pat_FS wins {svm_table.wins_for('Pat_FS')}/{len(datasets)} datasets")
+
+    print("\nC4.5 variants (Table 2 columns):")
+    c45_table = run_accuracy_table(
+        datasets, model="c45", n_folds=3, scale=0.5, seed=0
+    )
+    print(c45_table.render())
+    print(f"\ntotal wall time: {time.perf_counter() - start:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Post-hoc model analysis: pattern summaries, weights, coverage overlap."""
+
+from .inspect import (
+    PatternSummary,
+    coverage_overlap,
+    feature_weights,
+    summarize_patterns,
+)
+
+__all__ = [
+    "PatternSummary",
+    "summarize_patterns",
+    "feature_weights",
+    "coverage_overlap",
+]

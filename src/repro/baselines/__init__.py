@@ -1,0 +1,17 @@
+"""Associative-classification baselines the paper relates to (Section 5)."""
+
+from .cars import ClassAssociationRule, mine_cars, rule_matches
+from .cba import CBAClassifier
+from .cmar import CMARClassifier, chi_square, max_chi_square
+from .harmony import HarmonyClassifier
+
+__all__ = [
+    "ClassAssociationRule",
+    "mine_cars",
+    "rule_matches",
+    "CBAClassifier",
+    "CMARClassifier",
+    "HarmonyClassifier",
+    "chi_square",
+    "max_chi_square",
+]

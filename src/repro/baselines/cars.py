@@ -1,0 +1,114 @@
+"""Class association rules (CARs): the substrate of CBA/CMAR/HARMONY.
+
+A CAR is ``antecedent (itemset) -> class`` with a support and a confidence.
+Rules are mined per class partition with the package's closed miner, then
+scored against the full training set — the same pattern machinery the main
+framework uses, reused for the associative-classification baselines the
+paper compares against (Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets.transactions import TransactionDataset
+from ..measures.contingency import batch_pattern_stats
+from ..mining.generation import mine_class_patterns
+from ..mining.itemsets import Pattern
+
+__all__ = ["ClassAssociationRule", "mine_cars", "rule_matches"]
+
+
+@dataclass(frozen=True)
+class ClassAssociationRule:
+    """One rule ``antecedent -> label``.
+
+    ``support`` is the absolute count of rows containing the antecedent
+    *with* the rule's label (rule support in CBA's sense); ``coverage`` is
+    the count of rows containing the antecedent regardless of label;
+    ``confidence = support / coverage``.
+    """
+
+    antecedent: tuple[int, ...]
+    label: int
+    support: int
+    coverage: int
+
+    @property
+    def confidence(self) -> float:
+        return self.support / self.coverage if self.coverage else 0.0
+
+    @property
+    def length(self) -> int:
+        return len(self.antecedent)
+
+    def matches(self, transaction: tuple[int, ...]) -> bool:
+        return set(self.antecedent).issubset(transaction)
+
+
+def rule_matches(
+    rules: list[ClassAssociationRule], data: TransactionDataset
+) -> np.ndarray:
+    """Boolean matrix (n_rules, n_rows): rule antecedent ⊆ transaction."""
+    from ..mining.closed import occurrence_matrix
+
+    matrix = occurrence_matrix(data.transactions, n_items=data.n_items)
+    result = np.zeros((len(rules), data.n_rows), dtype=bool)
+    for index, rule in enumerate(rules):
+        items = list(rule.antecedent)
+        if items:
+            result[index] = matrix[:, items].all(axis=1)
+        else:
+            result[index] = True
+    return result
+
+
+def mine_cars(
+    data: TransactionDataset,
+    min_support: float = 0.05,
+    min_confidence: float = 0.6,
+    max_length: int | None = 5,
+    min_length: int = 1,
+    max_patterns: int | None = 200_000,
+) -> list[ClassAssociationRule]:
+    """Mine class association rules from labelled transactions.
+
+    Frequent closed antecedents are mined per class partition at the
+    relative ``min_support``; each antecedent yields one rule per class it
+    is sufficiently confident for.  Rules are returned sorted by CBA's
+    total order: confidence desc, support desc, antecedent length asc.
+    """
+    if not 0.0 < min_confidence <= 1.0:
+        raise ValueError("min_confidence must be in (0, 1]")
+    mined = mine_class_patterns(
+        data,
+        min_support=min_support,
+        miner="closed",
+        min_length=min_length,
+        max_length=max_length,
+        max_patterns=max_patterns,
+    )
+    patterns: list[Pattern] = mined.patterns
+    stats = batch_pattern_stats(patterns, data)
+
+    rules: list[ClassAssociationRule] = []
+    for pattern, stat in zip(patterns, stats):
+        coverage = stat.support
+        if coverage == 0:
+            continue
+        for label, count in enumerate(stat.present):
+            if count == 0:
+                continue
+            if count / coverage >= min_confidence:
+                rules.append(
+                    ClassAssociationRule(
+                        antecedent=pattern.items,
+                        label=label,
+                        support=int(count),
+                        coverage=int(coverage),
+                    )
+                )
+    rules.sort(key=lambda r: (-r.confidence, -r.support, r.length, r.antecedent))
+    return rules

@@ -1,0 +1,102 @@
+"""CBA: Classification Based on Associations (Liu, Hsu & Ma, KDD 1998).
+
+The first associative classifier (paper reference [14]).  Builds an ordered
+rule list by the database-coverage procedure (a simplified CBA-CB M1):
+
+1. sort CARs by (confidence desc, support desc, length asc);
+2. scan rules in order; keep a rule if it *correctly* classifies at least
+   one still-uncovered training row, then mark every row it covers;
+3. the default class is the majority among rows left uncovered.
+
+Prediction follows the rule list: the first matching rule fires; if none
+matches, the default class is returned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets.transactions import TransactionDataset
+from .cars import ClassAssociationRule, mine_cars, rule_matches
+
+__all__ = ["CBAClassifier"]
+
+
+class CBAClassifier:
+    """Ordered-rule-list associative classifier.
+
+    Parameters
+    ----------
+    min_support, min_confidence:
+        CAR mining thresholds (relative support within class partitions).
+    max_length:
+        Antecedent length cap.
+    max_rules:
+        Cap on the mined rule list before coverage pruning (rules are
+        sorted, so this keeps the strongest).
+    """
+
+    def __init__(
+        self,
+        min_support: float = 0.05,
+        min_confidence: float = 0.6,
+        max_length: int | None = 4,
+        max_rules: int = 5000,
+    ) -> None:
+        self.min_support = min_support
+        self.min_confidence = min_confidence
+        self.max_length = max_length
+        self.max_rules = max_rules
+        self.rules_: list[ClassAssociationRule] = []
+        self.default_class_: int = 0
+        self._fitted = False
+
+    def fit(self, data: TransactionDataset) -> "CBAClassifier":
+        candidates = mine_cars(
+            data,
+            min_support=self.min_support,
+            min_confidence=self.min_confidence,
+            max_length=self.max_length,
+        )[: self.max_rules]
+
+        selected: list[ClassAssociationRule] = []
+        covered = np.zeros(data.n_rows, dtype=bool)
+        if candidates:
+            matches = rule_matches(candidates, data)
+            for index, rule in enumerate(candidates):
+                row_mask = matches[index]
+                correct = row_mask & (data.labels == rule.label) & ~covered
+                if correct.any():
+                    selected.append(rule)
+                    covered |= row_mask
+                if covered.all():
+                    break
+
+        remaining = data.labels[~covered]
+        pool = remaining if len(remaining) else data.labels
+        self.default_class_ = int(np.bincount(pool).argmax())
+        self.rules_ = selected
+        self._fitted = True
+        return self
+
+    def predict(self, data: TransactionDataset) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("fit must be called before predict")
+        predictions = np.full(data.n_rows, self.default_class_, dtype=np.int32)
+        decided = np.zeros(data.n_rows, dtype=bool)
+        if self.rules_:
+            matches = rule_matches(self.rules_, data)
+            for index, rule in enumerate(self.rules_):
+                fire = matches[index] & ~decided
+                predictions[fire] = rule.label
+                decided |= matches[index]
+                if decided.all():
+                    break
+        return predictions
+
+    def score(self, data: TransactionDataset) -> float:
+        return float((self.predict(data) == data.labels).mean())
+
+    @property
+    def n_rules(self) -> int:
+        return len(self.rules_)

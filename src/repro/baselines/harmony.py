@@ -1,0 +1,123 @@
+"""HARMONY: instance-centric rule-based classification (Wang & Karypis,
+SDM 2005 — paper reference [19]).
+
+HARMONY's defining idea is *instance-centric* rule selection: instead of a
+global rule ranking, it guarantees that for **every training instance** at
+least one of the highest-confidence rules covering that instance is kept.
+Prediction sums the confidences of the top-k matching rules per class and
+predicts the argmax.
+
+The paper's Section 5 compares against HARMONY and reports Pat_FS winning by
+up to 11.94% (Waveform) and 3.40% (Letter Recognition); the corresponding
+bench reproduces that comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets.transactions import TransactionDataset
+from .cars import ClassAssociationRule, mine_cars, rule_matches
+
+__all__ = ["HarmonyClassifier"]
+
+
+class HarmonyClassifier:
+    """Instance-centric associative classifier.
+
+    Parameters
+    ----------
+    min_support, min_confidence, max_length:
+        CAR mining controls.
+    rules_per_instance:
+        How many of the highest-confidence covering rules are retained per
+        training instance (HARMONY's K).
+    top_k_score:
+        How many matching rules per class contribute to the prediction
+        score.
+    """
+
+    def __init__(
+        self,
+        min_support: float = 0.05,
+        min_confidence: float = 0.5,
+        max_length: int | None = 4,
+        rules_per_instance: int = 1,
+        top_k_score: int = 5,
+    ) -> None:
+        if rules_per_instance < 1:
+            raise ValueError("rules_per_instance must be >= 1")
+        if top_k_score < 1:
+            raise ValueError("top_k_score must be >= 1")
+        self.min_support = min_support
+        self.min_confidence = min_confidence
+        self.max_length = max_length
+        self.rules_per_instance = rules_per_instance
+        self.top_k_score = top_k_score
+        self.rules_: list[ClassAssociationRule] = []
+        self.default_class_: int = 0
+        self.n_classes_: int = 0
+        self._fitted = False
+
+    def fit(self, data: TransactionDataset) -> "HarmonyClassifier":
+        self.n_classes_ = data.n_classes
+        candidates = mine_cars(
+            data,
+            min_support=self.min_support,
+            min_confidence=self.min_confidence,
+            max_length=self.max_length,
+        )
+        keep: set[int] = set()
+        if candidates:
+            matches = rule_matches(candidates, data)
+            # Rules are sorted by confidence desc, so scanning candidate
+            # indices in order yields each instance's best covering rules.
+            confidences = np.array([r.confidence for r in candidates])
+            for row in range(data.n_rows):
+                label = int(data.labels[row])
+                covering = [
+                    index
+                    for index in range(len(candidates))
+                    if matches[index, row] and candidates[index].label == label
+                ]
+                if not covering:
+                    continue
+                ranked = sorted(covering, key=lambda i: -confidences[i])
+                keep.update(ranked[: self.rules_per_instance])
+
+        self.rules_ = [candidates[i] for i in sorted(keep)]
+        self.default_class_ = int(np.bincount(data.labels).argmax())
+        self._fitted = True
+        return self
+
+    def predict(self, data: TransactionDataset) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("fit must be called before predict")
+        scores = np.zeros((data.n_rows, self.n_classes_))
+        if self.rules_:
+            matches = rule_matches(self.rules_, data)
+            confidences = np.array([r.confidence for r in self.rules_])
+            labels = np.array([r.label for r in self.rules_])
+            for row in range(data.n_rows):
+                firing = np.where(matches[:, row])[0]
+                if len(firing) == 0:
+                    continue
+                for class_label in range(self.n_classes_):
+                    class_rules = firing[labels[firing] == class_label]
+                    if len(class_rules) == 0:
+                        continue
+                    top = np.sort(confidences[class_rules])[::-1][
+                        : self.top_k_score
+                    ]
+                    scores[row, class_label] = top.sum()
+        predictions = np.argmax(scores, axis=1).astype(np.int32)
+        undecided = ~scores.any(axis=1)
+        predictions[undecided] = self.default_class_
+        return predictions
+
+    def score(self, data: TransactionDataset) -> float:
+        return float((self.predict(data) == data.labels).mean())
+
+    @property
+    def n_rules(self) -> int:
+        return len(self.rules_)

@@ -1,0 +1,306 @@
+"""C4.5-style decision tree (the Weka J48 stand-in of the paper's Table 2).
+
+Implements the behaviour-relevant core of Quinlan's C4.5 for the binary
+feature spaces this framework produces:
+
+* threshold splits chosen by **gain ratio**, with Quinlan's heuristic of
+  only considering splits whose raw information gain reaches the average
+  gain of the candidate splits;
+* **pessimistic error pruning** (subtree replacement) using the upper
+  confidence bound of the binomial error rate at confidence factor CF;
+* minimum leaf-size and depth controls.
+
+Features may be real-valued; binary 0/1 features get their single natural
+threshold at 0.5.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..measures.entropy import entropy
+from .base import Classifier, check_fitted, validate_inputs
+
+__all__ = ["DecisionTree", "TreeNode"]
+
+
+@dataclass
+class TreeNode:
+    """One node of a fitted tree.
+
+    Leaves have ``feature is None``; internal nodes route rows with
+    ``value <= threshold`` left and the rest right.
+    """
+
+    prediction: int
+    counts: np.ndarray
+    feature: int | None = None
+    threshold: float = 0.0
+    left: "TreeNode | None" = None
+    right: "TreeNode | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+    def n_nodes(self) -> int:
+        if self.is_leaf:
+            return 1
+        assert self.left is not None and self.right is not None
+        return 1 + self.left.n_nodes() + self.right.n_nodes()
+
+    def depth(self) -> int:
+        if self.is_leaf:
+            return 0
+        assert self.left is not None and self.right is not None
+        return 1 + max(self.left.depth(), self.right.depth())
+
+
+def _z_from_confidence(confidence: float) -> float:
+    """Normal upper quantile for one-sided confidence (C4.5's CF).
+
+    Uses the Acklam-style rational approximation of the probit function, so
+    scipy is not required at runtime.
+    """
+    p = 1.0 - confidence  # upper-tail quantile
+    if not 0.0 < p < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    # Beasley-Springer-Moro approximation.
+    a = [
+        -3.969683028665376e01,
+        2.209460984245205e02,
+        -2.759285104469687e02,
+        1.383577518672690e02,
+        -3.066479806614716e01,
+        2.506628277459239e00,
+    ]
+    b = [
+        -5.447609879822406e01,
+        1.615858368580409e02,
+        -1.556989798598866e02,
+        6.680131188771972e01,
+        -1.328068155288572e01,
+    ]
+    c = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e00,
+        -2.549732539343734e00,
+        4.374664141464968e00,
+        2.938163982698783e00,
+    ]
+    d = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e00,
+        3.754408661907416e00,
+    ]
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2 * math.log(p))
+        x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        )
+    elif p <= 1 - p_low:
+        q = p - 0.5
+        r = q * q
+        x = (
+            (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5])
+            * q
+            / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1)
+        )
+    else:
+        q = math.sqrt(-2 * math.log(1 - p))
+        x = -(
+            ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+        ) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1)
+    return x  # = probit(1 - confidence), positive for confidence < 0.5
+
+
+def _pessimistic_errors(n_errors: float, n: float, z: float) -> float:
+    """Predicted error *count* at a leaf under C4.5's pessimistic estimate.
+
+    Upper bound of the binomial error rate (Wilson-style), times n.
+    """
+    if n <= 0:
+        return 0.0
+    f = n_errors / n
+    z2 = z * z
+    upper = (
+        f
+        + z2 / (2 * n)
+        + z * math.sqrt(max(0.0, f / n - f * f / n + z2 / (4 * n * n)))
+    ) / (1 + z2 / n)
+    return upper * n
+
+
+class DecisionTree(Classifier):
+    """Gain-ratio decision tree with pessimistic-error pruning.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth cap; ``None`` means unrestricted.
+    min_samples_split:
+        Smallest node that may still be split.
+    min_samples_leaf:
+        Smallest admissible child.
+    confidence:
+        C4.5's CF for pruning; smaller prunes harder.  ``None`` disables
+        pruning.
+    use_gain_ratio:
+        When False, plain information gain ranks splits (ID3 behaviour) —
+        kept for ablations.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        confidence: float | None = 0.25,
+        use_gain_ratio: bool = True,
+    ) -> None:
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.confidence = confidence
+        self.use_gain_ratio = use_gain_ratio
+        self._params = dict(
+            max_depth=max_depth,
+            min_samples_split=min_samples_split,
+            min_samples_leaf=min_samples_leaf,
+            confidence=confidence,
+            use_gain_ratio=use_gain_ratio,
+        )
+        self.root_: TreeNode | None = None
+        self.n_classes_: int = 0
+
+    # ------------------------------------------------------------------
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "DecisionTree":
+        features, labels = validate_inputs(features, labels)
+        assert labels is not None
+        self.n_classes_ = int(labels.max()) + 1
+        self.root_ = self._build(features, labels, depth=0)
+        if self.confidence is not None:
+            z = _z_from_confidence(self.confidence)
+            self._prune(self.root_, z)
+        self._fitted = True
+        return self
+
+    def _leaf(self, labels: np.ndarray) -> TreeNode:
+        counts = np.bincount(labels, minlength=self.n_classes_)
+        return TreeNode(prediction=int(np.argmax(counts)), counts=counts)
+
+    def _build(
+        self, features: np.ndarray, labels: np.ndarray, depth: int
+    ) -> TreeNode:
+        node = self._leaf(labels)
+        n = len(labels)
+        if (
+            n < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or (node.counts > 0).sum() <= 1
+        ):
+            return node
+
+        split = self._best_split(features, labels)
+        if split is None:
+            return node
+        feature, threshold = split
+        left_mask = features[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(features[left_mask], labels[left_mask], depth + 1)
+        node.right = self._build(features[~left_mask], labels[~left_mask], depth + 1)
+        return node
+
+    def _best_split(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> tuple[int, float] | None:
+        """(feature, threshold) maximizing gain ratio, per C4.5's heuristic."""
+        n = len(labels)
+        base_entropy = entropy(np.bincount(labels, minlength=self.n_classes_))
+        if base_entropy == 0.0:
+            return None
+
+        candidates: list[tuple[float, float, int, float]] = []  # gain, ratio, j, thr
+        for j in range(features.shape[1]):
+            column = features[:, j]
+            unique = np.unique(column)
+            if len(unique) < 2:
+                continue
+            thresholds = (unique[:-1] + unique[1:]) / 2.0
+            for threshold in thresholds:
+                left = column <= threshold
+                n_left = int(left.sum())
+                if n_left < self.min_samples_leaf or n - n_left < self.min_samples_leaf:
+                    continue
+                left_counts = np.bincount(labels[left], minlength=self.n_classes_)
+                right_counts = np.bincount(labels[~left], minlength=self.n_classes_)
+                conditional = (
+                    n_left * entropy(left_counts)
+                    + (n - n_left) * entropy(right_counts)
+                ) / n
+                gain = base_entropy - conditional
+                if gain <= 1e-12:
+                    continue
+                split_info = entropy(np.array([n_left, n - n_left], dtype=float))
+                ratio = gain / split_info if split_info > 0 else 0.0
+                candidates.append((gain, ratio, j, float(threshold)))
+
+        if not candidates:
+            return None
+        if self.use_gain_ratio:
+            average_gain = sum(c[0] for c in candidates) / len(candidates)
+            eligible = [c for c in candidates if c[0] >= average_gain - 1e-12]
+            best = max(eligible, key=lambda c: (c[1], c[0]))
+        else:
+            best = max(candidates, key=lambda c: c[0])
+        return best[2], best[3]
+
+    # ------------------------------------------------------------------
+    def _prune(self, node: TreeNode, z: float) -> float:
+        """Bottom-up subtree replacement; returns predicted subtree errors."""
+        n = float(node.counts.sum())
+        leaf_errors = _pessimistic_errors(
+            n - float(node.counts.max()), n, z
+        )
+        if node.is_leaf:
+            return leaf_errors
+        assert node.left is not None and node.right is not None
+        subtree_errors = self._prune(node.left, z) + self._prune(node.right, z)
+        if leaf_errors <= subtree_errors + 0.1:
+            # Replace the subtree by a leaf (C4.5's +0.1 hysteresis).
+            node.feature = None
+            node.left = None
+            node.right = None
+            return leaf_errors
+        return subtree_errors
+
+    # ------------------------------------------------------------------
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        check_fitted(self)
+        assert self.root_ is not None
+        features, _ = validate_inputs(features)
+        predictions = np.empty(len(features), dtype=np.int32)
+        for i, row in enumerate(features):
+            node = self.root_
+            while not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            predictions[i] = node.prediction
+        return predictions
+
+    @property
+    def n_nodes(self) -> int:
+        check_fitted(self)
+        assert self.root_ is not None
+        return self.root_.n_nodes()

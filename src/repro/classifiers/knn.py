@@ -1,0 +1,64 @@
+"""k-nearest-neighbours classifier (Hamming/Euclidean) over pattern features."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Classifier, check_fitted, validate_inputs
+
+__all__ = ["KNearestNeighbors"]
+
+
+class KNearestNeighbors(Classifier):
+    """Majority-vote kNN with squared-Euclidean distance.
+
+    On binary feature vectors squared Euclidean equals Hamming distance, so
+    this doubles as a Hamming-distance classifier for pattern spaces.
+    Ties are broken toward the most frequent class in the training data.
+    """
+
+    def __init__(self, k: int = 5) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self._params = dict(k=k)
+        self._train_features: np.ndarray | None = None
+        self._train_labels: np.ndarray | None = None
+        self._class_frequency_order: np.ndarray | None = None
+        self.n_classes_: int = 0
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "KNearestNeighbors":
+        features, labels = validate_inputs(features, labels)
+        assert labels is not None
+        self._train_features = features
+        self._train_labels = labels
+        self.n_classes_ = int(labels.max()) + 1
+        counts = np.bincount(labels, minlength=self.n_classes_)
+        # Rank classes by training frequency for deterministic tie-breaks.
+        self._class_frequency_order = np.argsort(-counts, kind="stable")
+        self._fitted = True
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        check_fitted(self)
+        assert self._train_features is not None and self._train_labels is not None
+        features, _ = validate_inputs(features)
+        k = min(self.k, len(self._train_features))
+
+        train = self._train_features
+        train_norms = (train * train).sum(axis=1)[np.newaxis, :]
+        test_norms = (features * features).sum(axis=1)[:, np.newaxis]
+        distances = test_norms + train_norms - 2.0 * (features @ train.T)
+
+        neighbor_indices = np.argpartition(distances, k - 1, axis=1)[:, :k]
+        predictions = np.empty(len(features), dtype=np.int32)
+        rank = np.empty(self.n_classes_, dtype=np.int64)
+        rank[self._class_frequency_order] = np.arange(self.n_classes_)
+        for i, indices in enumerate(neighbor_indices):
+            votes = np.bincount(
+                self._train_labels[indices], minlength=self.n_classes_
+            )
+            best_votes = votes.max()
+            tied = np.where(votes == best_votes)[0]
+            predictions[i] = tied[np.argmin(rank[tied])]
+        return predictions

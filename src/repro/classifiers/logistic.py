@@ -1,0 +1,132 @@
+"""L2-regularized logistic regression (gradient descent with line search).
+
+Another "any learning algorithm" instance for the framework: a probabilistic
+linear model that, unlike the SVM, yields calibrated class probabilities
+over the pattern feature space.  Multiclass is handled by softmax.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Classifier, check_fitted, validate_inputs
+
+__all__ = ["LogisticRegression"]
+
+
+def _softmax(scores: np.ndarray) -> np.ndarray:
+    shifted = scores - scores.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class LogisticRegression(Classifier):
+    """Multinomial logistic regression with L2 penalty.
+
+    Parameters
+    ----------
+    l2:
+        Regularization strength (0 disables the penalty).
+    max_iterations:
+        Gradient steps.
+    learning_rate:
+        Initial step size; halved on objective increase (backtracking).
+    tolerance:
+        Stop when the gradient norm falls below this.
+    fit_bias:
+        Append a constant feature.
+    """
+
+    def __init__(
+        self,
+        l2: float = 1e-2,
+        max_iterations: int = 500,
+        learning_rate: float = 1.0,
+        tolerance: float = 1e-5,
+        fit_bias: bool = True,
+    ) -> None:
+        if l2 < 0:
+            raise ValueError("l2 must be >= 0")
+        self.l2 = l2
+        self.max_iterations = max_iterations
+        self.learning_rate = learning_rate
+        self.tolerance = tolerance
+        self.fit_bias = fit_bias
+        self._params = dict(
+            l2=l2,
+            max_iterations=max_iterations,
+            learning_rate=learning_rate,
+            tolerance=tolerance,
+            fit_bias=fit_bias,
+        )
+        self.classes_: np.ndarray | None = None
+        self.weights_: np.ndarray | None = None
+
+    def _augment(self, features: np.ndarray) -> np.ndarray:
+        if not self.fit_bias:
+            return features
+        return np.hstack([features, np.ones((features.shape[0], 1))])
+
+    def _objective(self, weights, design, one_hot) -> float:
+        scores = design @ weights.T
+        log_norm = np.log(np.exp(scores - scores.max(axis=1, keepdims=True)).sum(axis=1))
+        log_norm += scores.max(axis=1)
+        log_likelihood = (scores * one_hot).sum() - log_norm.sum()
+        penalty = 0.5 * self.l2 * float((weights * weights).sum())
+        return -log_likelihood / len(design) + penalty
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LogisticRegression":
+        features, labels = validate_inputs(features, labels)
+        assert labels is not None
+        design = self._augment(features)
+        self.classes_ = np.unique(labels)
+        n_classes = len(self.classes_)
+        if n_classes < 2:
+            self.weights_ = np.zeros((1, design.shape[1]))
+            self._fitted = True
+            return self
+
+        index_of = {c: i for i, c in enumerate(self.classes_)}
+        one_hot = np.zeros((len(labels), n_classes))
+        one_hot[np.arange(len(labels)), [index_of[int(y)] for y in labels]] = 1.0
+
+        weights = np.zeros((n_classes, design.shape[1]))
+        step = self.learning_rate
+        objective = self._objective(weights, design, one_hot)
+        for _ in range(self.max_iterations):
+            probabilities = _softmax(design @ weights.T)
+            gradient = (
+                (probabilities - one_hot).T @ design
+            ) / len(design) + self.l2 * weights
+            gradient_norm = float(np.abs(gradient).max())
+            if gradient_norm < self.tolerance:
+                break
+            # Backtracking: halve the step until the objective improves.
+            while step > 1e-8:
+                candidate = weights - step * gradient
+                candidate_objective = self._objective(candidate, design, one_hot)
+                if candidate_objective <= objective:
+                    weights = candidate
+                    objective = candidate_objective
+                    step *= 1.2  # tentative growth after a good step
+                    break
+                step *= 0.5
+            else:
+                break
+        self.weights_ = weights
+        self._fitted = True
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        check_fitted(self)
+        features, _ = validate_inputs(features)
+        design = self._augment(features)
+        assert self.weights_ is not None and self.classes_ is not None
+        if len(self.classes_) < 2:
+            return np.ones((len(features), 1))
+        return _softmax(design @ self.weights_.T)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        probabilities = self.predict_proba(features)
+        assert self.classes_ is not None
+        return self.classes_[np.argmax(probabilities, axis=1)].astype(np.int32)

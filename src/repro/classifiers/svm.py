@@ -1,0 +1,190 @@
+"""Kernel SVM trained by SMO (Platt, 1998) — the LIBSVM stand-in.
+
+Binary soft-margin SVM solved by Sequential Minimal Optimization with
+maximal-violating-pair working-set selection and a full kernel cache
+(appropriate at the dataset sizes of the paper's Tables 1-2).  Multiclass is
+one-vs-one with majority voting, like LIBSVM.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from .base import Classifier, check_fitted, validate_inputs
+from .kernels import get_kernel
+
+__all__ = ["KernelSVM"]
+
+
+class _BinarySMO:
+    """One binary SVM trained by SMO on a precomputed Gram matrix."""
+
+    def __init__(self, c: float, tolerance: float, max_iterations: int) -> None:
+        self.c = c
+        self.tolerance = tolerance
+        self.max_iterations = max_iterations
+        self.alphas: np.ndarray | None = None
+        self.bias = 0.0
+
+    def fit(self, gram: np.ndarray, signs: np.ndarray) -> "_BinarySMO":
+        n = len(signs)
+        alphas = np.zeros(n)
+        gradient = -np.ones(n)  # d(dual)/d(alpha) = Q alpha - e
+        q = gram * np.outer(signs, signs)
+        c = self.c
+        tau = 1e-12
+
+        for _ in range(self.max_iterations):
+            # Maximal violating pair (Keerthi et al. / LIBSVM WSS1):
+            # i maximizes -y_k grad_k over I_up, j minimizes it over I_low.
+            up_mask = ((signs > 0) & (alphas < c)) | ((signs < 0) & (alphas > 0))
+            low_mask = ((signs > 0) & (alphas > 0)) | ((signs < 0) & (alphas < c))
+            if not up_mask.any() or not low_mask.any():
+                break
+            minus_grad_y = -signs * gradient
+            i = int(np.where(up_mask)[0][np.argmax(minus_grad_y[up_mask])])
+            j = int(np.where(low_mask)[0][np.argmin(minus_grad_y[low_mask])])
+            violation = minus_grad_y[i] - minus_grad_y[j]
+            if violation < self.tolerance:
+                break
+
+            # Move along the feasible direction alpha_i += y_i t,
+            # alpha_j -= y_j t (keeps sum_k y_k alpha_k fixed).
+            quad = max(gram[i, i] + gram[j, j] - 2.0 * gram[i, j], tau)
+            t = violation / quad
+            old_i, old_j = alphas[i], alphas[j]
+            t = min(t, c - old_i if signs[i] > 0 else old_i)
+            t = min(t, old_j if signs[j] > 0 else c - old_j)
+            if t <= 0.0:  # unreachable by construction; numeric guard
+                break
+
+            alphas[i] = old_i + signs[i] * t
+            alphas[j] = old_j - signs[j] * t
+            delta_i = alphas[i] - old_i
+            delta_j = alphas[j] - old_j
+            gradient += q[:, i] * delta_i + q[:, j] * delta_j
+
+        self.alphas = alphas
+        self.bias = self._compute_bias(gram, signs, alphas)
+        return self
+
+    def _compute_bias(
+        self, gram: np.ndarray, signs: np.ndarray, alphas: np.ndarray
+    ) -> float:
+        decision = (alphas * signs) @ gram
+        free = (alphas > 1e-8) & (alphas < self.c - 1e-8)
+        if free.any():
+            return float((signs[free] - decision[free]).mean())
+        support = alphas > 1e-8
+        if support.any():
+            return float((signs[support] - decision[support]).mean())
+        return 0.0
+
+    def decision_values(self, cross_gram: np.ndarray, signs: np.ndarray) -> np.ndarray:
+        assert self.alphas is not None
+        return cross_gram @ (self.alphas * signs) + self.bias
+
+
+class KernelSVM(Classifier):
+    """Soft-margin SVM with linear or RBF kernel, one-vs-one multiclass.
+
+    Parameters
+    ----------
+    c:
+        Penalty parameter.
+    kernel:
+        ``"linear"`` or ``"rbf"``.
+    gamma:
+        RBF width; ignored for the linear kernel.  ``"scale"`` uses
+        1 / (n_features * var(X)) (LIBSVM's modern default); ``"auto"``
+        uses 1 / n_features (the default of LIBSVM circa the paper).
+    tolerance, max_iterations:
+        SMO stopping controls.
+    """
+
+    def __init__(
+        self,
+        c: float = 1.0,
+        kernel: str = "linear",
+        gamma: float | str = "scale",
+        tolerance: float = 1e-3,
+        max_iterations: int = 20_000,
+    ) -> None:
+        if c <= 0:
+            raise ValueError("c must be positive")
+        self.c = c
+        self.kernel = kernel
+        self.gamma = gamma
+        self.tolerance = tolerance
+        self.max_iterations = max_iterations
+        self._params = dict(
+            c=c,
+            kernel=kernel,
+            gamma=gamma,
+            tolerance=tolerance,
+            max_iterations=max_iterations,
+        )
+        self.classes_: np.ndarray | None = None
+        self._machines: list[tuple[int, int, _BinarySMO, np.ndarray, np.ndarray]] = []
+        self._train_features: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def _resolve_gamma(self, features: np.ndarray) -> float:
+        if self.gamma == "scale":
+            variance = float(features.var())
+            if variance <= 0:
+                variance = 1.0
+            return 1.0 / (features.shape[1] * variance)
+        if self.gamma == "auto":
+            return 1.0 / features.shape[1]
+        return float(self.gamma)
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "KernelSVM":
+        features, labels = validate_inputs(features, labels)
+        assert labels is not None
+        self.classes_ = np.unique(labels)
+        self._train_features = features
+        self._kernel_fn = get_kernel(self.kernel, gamma=self._resolve_gamma(features))
+        self._machines = []
+
+        if len(self.classes_) < 2:
+            self._fitted = True
+            return self
+
+        for a, b in combinations(range(len(self.classes_)), 2):
+            class_a, class_b = self.classes_[a], self.classes_[b]
+            mask = (labels == class_a) | (labels == class_b)
+            indices = np.where(mask)[0]
+            subset = features[indices]
+            signs = np.where(labels[indices] == class_b, 1.0, -1.0)
+            gram = self._kernel_fn(subset, subset)
+            machine = _BinarySMO(self.c, self.tolerance, self.max_iterations)
+            machine.fit(gram, signs)
+            self._machines.append((a, b, machine, indices, signs))
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        check_fitted(self)
+        assert self.classes_ is not None and self._train_features is not None
+        features, _ = validate_inputs(features)
+        if len(self.classes_) == 1:
+            return np.full(len(features), self.classes_[0], dtype=np.int32)
+
+        votes = np.zeros((len(features), len(self.classes_)), dtype=np.int64)
+        margins = np.zeros((len(features), len(self.classes_)))
+        for a, b, machine, indices, signs in self._machines:
+            cross = self._kernel_fn(features, self._train_features[indices])
+            values = machine.decision_values(cross, signs)
+            winner_b = values > 0
+            votes[winner_b, b] += 1
+            votes[~winner_b, a] += 1
+            margins[:, b] += values
+            margins[:, a] -= values
+        # Majority vote; tie-break by accumulated margin like LIBSVM's
+        # practical implementations.
+        best = np.argmax(votes + 1e-9 * np.tanh(margins), axis=1)
+        return self.classes_[best].astype(np.int32)

@@ -1,0 +1,260 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    List the built-in benchmark datasets with their shapes.
+``mine``
+    Mine closed frequent patterns from a built-in dataset or a CSV/ARFF
+    file and write them as JSON.
+``select``
+    Run MMRFS on a dataset and print the selected patterns.
+``evaluate``
+    Cross-validate the paper's model variants on a dataset.
+``table``
+    Regenerate one of the paper's tables (1-5).
+``figure``
+    Regenerate one of the paper's figures (1-3) as text series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .datasets import TransactionDataset, available_datasets, load_uci
+from .datasets.uci import SCALABILITY_SPECS, UCI_SPECS
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_transactions(source: str, scale: float) -> TransactionDataset:
+    """A built-in dataset name, or a path to a .csv/.arff file."""
+    if source in available_datasets():
+        return TransactionDataset.from_dataset(load_uci(source, scale=scale))
+    path = Path(source)
+    if not path.exists():
+        raise SystemExit(
+            f"unknown dataset {source!r}: not a built-in name "
+            f"({', '.join(available_datasets())}) and no such file"
+        )
+    if path.suffix.lower() == ".arff":
+        from .io import read_arff
+
+        return TransactionDataset.from_dataset(read_arff(path))
+    from .io import read_csv
+
+    return TransactionDataset.from_dataset(read_csv(path, name=path.stem))
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    print(f"{'name':10s} {'rows':>7s} {'attrs':>6s} {'classes':>8s} {'role'}")
+    for name, spec in {**UCI_SPECS, **SCALABILITY_SPECS}.items():
+        role = "scalability" if name in SCALABILITY_SPECS else "accuracy"
+        print(
+            f"{name:10s} {spec.n_rows:7d} {spec.n_attributes:6d} "
+            f"{spec.n_classes:8d} {role}"
+        )
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    from .io import save_patterns
+    from .mining import mine_class_patterns
+
+    data = _load_transactions(args.dataset, args.scale)
+    result = mine_class_patterns(
+        data,
+        min_support=args.min_support,
+        miner=args.miner,
+        max_length=args.max_length,
+    )
+    print(
+        f"mined {len(result)} {args.miner} patterns from {data.name} "
+        f"at min_sup={args.min_support}"
+    )
+    if args.output:
+        save_patterns(result, args.output, catalog=data.catalog)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_select(args: argparse.Namespace) -> int:
+    from .mining import mine_class_patterns
+    from .selection import mmrfs
+
+    data = _load_transactions(args.dataset, args.scale)
+    mined = mine_class_patterns(
+        data, min_support=args.min_support, max_length=args.max_length
+    )
+    selection = mmrfs(
+        mined.patterns, data, relevance=args.relevance, delta=args.delta
+    )
+    print(
+        f"{data.name}: {len(selection)} of {selection.considered} patterns "
+        f"selected (delta={args.delta}, fully covered: {selection.fully_covered})"
+    )
+    for feature in selection.selected[: args.top]:
+        rendered = (
+            data.catalog.describe(feature.pattern.items)
+            if data.catalog
+            else str(feature.pattern.items)
+        )
+        print(
+            f"  {rendered:50s} support={feature.pattern.support:5d} "
+            f"S={feature.relevance:.4f} g={feature.gain:.4f}"
+        )
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from .eval import cross_validate_pipeline
+    from .experiments import config_for, make_variant
+
+    data = _load_transactions(args.dataset, args.scale)
+    config = config_for(args.dataset)
+    for variant in args.variants:
+        factory = make_variant(variant, args.model, config)
+        report = cross_validate_pipeline(
+            factory, data, n_folds=args.folds, seed=args.seed, model_name=variant
+        )
+        print(
+            f"{data.name:10s} {variant:10s} "
+            f"{100 * report.mean_accuracy:6.2f}% ± {100 * report.std_accuracy:.2f}"
+        )
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from .experiments import run_accuracy_table, run_scalability_table
+
+    if args.number in (1, 2):
+        model = "svm" if args.number == 1 else "c45"
+        table = run_accuracy_table(
+            args.datasets or list(UCI_SPECS),
+            model=model,
+            n_folds=args.folds,
+            scale=args.scale,
+        )
+        print(table.render())
+        return 0
+
+    names = {3: "chess", 4: "waveform", 5: "letter"}
+    grids = {
+        3: (0.94, 0.88, 0.78, 0.69, 0.63),
+        4: (0.04, 0.03, 0.02, 0.016),
+        5: (0.225, 0.2, 0.175, 0.15),
+    }
+    name = names[args.number]
+    data = _load_transactions(name, args.scale)
+    supports = [max(2, int(r * data.n_rows)) for r in grids[args.number]]
+    table = run_scalability_table(
+        data,
+        absolute_supports=supports,
+        title=f"Table {args.number} ({name}, n={data.n_rows})",
+        pattern_budget=args.budget,
+    )
+    print(table.render())
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from .experiments import (
+        figure1_ig_vs_length,
+        figure2_ig_vs_support,
+        figure3_fisher_vs_support,
+    )
+
+    drivers = {
+        1: figure1_ig_vs_length,
+        2: figure2_ig_vs_support,
+        3: figure3_fisher_vs_support,
+    }
+    data = _load_transactions(args.dataset, args.scale)
+    figure = drivers[args.number](data, min_support=args.min_support)
+    print(figure.render())
+    if args.number in (2, 3):
+        print()
+        print(figure.ascii_plot())
+        violations = figure.violations(tolerance=1e-6)
+        print(f"bound violations: {len(violations)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Discriminative frequent pattern analysis for effective "
+            "classification (ICDE 2007 reproduction)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("datasets", help="list built-in datasets").set_defaults(
+        handler=_cmd_datasets
+    )
+
+    def add_common(sub):
+        sub.add_argument("dataset", help="built-in name or .csv/.arff path")
+        sub.add_argument("--scale", type=float, default=1.0)
+        sub.add_argument("--min-support", type=float, default=0.1,
+                         dest="min_support")
+        sub.add_argument("--max-length", type=int, default=5, dest="max_length")
+
+    mine = commands.add_parser("mine", help="mine closed frequent patterns")
+    add_common(mine)
+    mine.add_argument("--miner", choices=("closed", "all"), default="closed")
+    mine.add_argument("--output", help="write patterns JSON here")
+    mine.set_defaults(handler=_cmd_mine)
+
+    select = commands.add_parser("select", help="run MMRFS feature selection")
+    add_common(select)
+    select.add_argument("--delta", type=int, default=3)
+    select.add_argument(
+        "--relevance", choices=("information_gain", "fisher", "chi2"),
+        default="information_gain",
+    )
+    select.add_argument("--top", type=int, default=10, help="patterns to print")
+    select.set_defaults(handler=_cmd_select)
+
+    evaluate = commands.add_parser("evaluate", help="cross-validate variants")
+    evaluate.add_argument("dataset")
+    evaluate.add_argument("--scale", type=float, default=1.0)
+    evaluate.add_argument("--model", choices=("svm", "c45"), default="svm")
+    evaluate.add_argument("--folds", type=int, default=3)
+    evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument(
+        "--variants", nargs="+",
+        default=["Item_All", "Pat_All", "Pat_FS"],
+    )
+    evaluate.set_defaults(handler=_cmd_evaluate)
+
+    table = commands.add_parser("table", help="regenerate a paper table")
+    table.add_argument("number", type=int, choices=(1, 2, 3, 4, 5))
+    table.add_argument("--datasets", nargs="*", default=None)
+    table.add_argument("--folds", type=int, default=3)
+    table.add_argument("--scale", type=float, default=0.5)
+    table.add_argument("--budget", type=int, default=150_000)
+    table.set_defaults(handler=_cmd_table)
+
+    figure = commands.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("number", type=int, choices=(1, 2, 3))
+    figure.add_argument("--dataset", default="austral")
+    figure.add_argument("--scale", type=float, default=0.5)
+    figure.add_argument("--min-support", type=float, default=0.1,
+                        dest="min_support")
+    figure.set_defaults(handler=_cmd_figure)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""The paper-facing core API, re-exported in one place.
+
+``repro.core`` gathers the primary contribution of the paper — the
+frequent pattern-based classification framework — so downstream users can
+write::
+
+    from repro.core import (
+        FrequentPatternClassifier, mmrfs, theta_star, suggest_min_support,
+    )
+
+without navigating the substrate packages.
+"""
+
+from ..features.pipeline import FrequentPatternClassifier
+from ..features.transformer import PatternFeaturizer
+from ..measures.bounds import (
+    fisher_upper_bound,
+    ig_upper_bound,
+    theta_star,
+)
+from ..measures.fisher import fisher_score
+from ..measures.information_gain import information_gain
+from ..mining.generation import mine_class_patterns
+from ..selection.direct import ddpmine
+from ..selection.minsup import MinSupSuggestion, suggest_min_support
+from ..selection.mmrfs import SelectionResult, mmrfs
+
+__all__ = [
+    "FrequentPatternClassifier",
+    "PatternFeaturizer",
+    "mine_class_patterns",
+    "mmrfs",
+    "ddpmine",
+    "SelectionResult",
+    "information_gain",
+    "fisher_score",
+    "ig_upper_bound",
+    "fisher_upper_bound",
+    "theta_star",
+    "suggest_min_support",
+    "MinSupSuggestion",
+]

@@ -1,0 +1,173 @@
+"""Graph classification data (the paper's future-work direction).
+
+Labelled graphs plus a planted-subgraph generator: class membership is
+driven by the presence of class-specific subgraph *motifs* embedded in
+random background graphs — the graph analogue of the itemset generator's
+planted combos (and of Deshpande et al.'s frequent sub-structure
+classification, paper reference [7]).
+
+Graphs are :class:`networkx.Graph` instances with a ``label`` attribute on
+every node and edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+__all__ = ["GraphDataset", "GraphSpec", "generate_graphs", "make_motif"]
+
+
+@dataclass
+class GraphDataset:
+    """Labelled graphs over small node/edge label alphabets."""
+
+    name: str
+    graphs: list[nx.Graph]
+    labels: np.ndarray
+    n_classes: int
+
+    def __post_init__(self) -> None:
+        self.labels = np.asarray(self.labels, dtype=np.int32)
+        if len(self.graphs) != len(self.labels):
+            raise ValueError("graphs and labels must align")
+        for graph in self.graphs:
+            for _, data in graph.nodes(data=True):
+                if "label" not in data:
+                    raise ValueError("every node needs a 'label' attribute")
+            for _, _, data in graph.edges(data=True):
+                if "label" not in data:
+                    raise ValueError("every edge needs a 'label' attribute")
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.graphs)
+
+    def subset(self, indices) -> "GraphDataset":
+        indices = np.asarray(indices)
+        return GraphDataset(
+            name=self.name,
+            graphs=[self.graphs[int(i)] for i in indices],
+            labels=self.labels[indices],
+            n_classes=self.n_classes,
+        )
+
+    def class_partition(self) -> dict[int, list[nx.Graph]]:
+        partition: dict[int, list[nx.Graph]] = {
+            c: [] for c in range(self.n_classes)
+        }
+        for graph, label in zip(self.graphs, self.labels):
+            partition[int(label)].append(graph)
+        return partition
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """Planted-motif graph dataset recipe.
+
+    A row of class c embeds one of c's motifs (a small labelled connected
+    graph) into an Erdos-Renyi-ish background graph with probability
+    ``motif_strength``.
+    """
+
+    name: str
+    n_rows: int
+    n_classes: int = 2
+    graph_size: int = 10
+    edge_probability: float = 0.25
+    node_labels: int = 3
+    edge_labels: int = 2
+    motif_size: int = 3
+    motifs_per_class: int = 2
+    motif_strength: float = 0.85
+    label_noise: float = 0.02
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.motif_size > self.graph_size:
+            raise ValueError("motif_size cannot exceed graph_size")
+        if self.node_labels < 1 or self.edge_labels < 1:
+            raise ValueError("label alphabets must be non-empty")
+        if not 0.0 <= self.motif_strength <= 1.0:
+            raise ValueError("motif_strength must be in [0, 1]")
+
+
+def make_motif(
+    rng: np.random.Generator, size: int, node_labels: int, edge_labels: int
+) -> nx.Graph:
+    """A random connected labelled motif: a labelled random spanning tree
+    plus a chance extra edge."""
+    motif = nx.Graph()
+    for node in range(size):
+        motif.add_node(node, label=int(rng.integers(node_labels)))
+    for node in range(1, size):
+        anchor = int(rng.integers(node))
+        motif.add_edge(node, anchor, label=int(rng.integers(edge_labels)))
+    if size >= 3 and rng.random() < 0.5:
+        a, b = rng.choice(size, size=2, replace=False)
+        if not motif.has_edge(int(a), int(b)):
+            motif.add_edge(int(a), int(b), label=int(rng.integers(edge_labels)))
+    return motif
+
+
+def _random_background(
+    rng: np.random.Generator, spec: GraphSpec
+) -> nx.Graph:
+    graph = nx.Graph()
+    for node in range(spec.graph_size):
+        graph.add_node(node, label=int(rng.integers(spec.node_labels)))
+    for a in range(spec.graph_size):
+        for b in range(a + 1, spec.graph_size):
+            if rng.random() < spec.edge_probability:
+                graph.add_edge(a, b, label=int(rng.integers(spec.edge_labels)))
+    return graph
+
+
+def _embed(graph: nx.Graph, motif: nx.Graph, rng: np.random.Generator) -> None:
+    """Overwrite a random node subset of ``graph`` with the motif."""
+    hosts = rng.choice(graph.number_of_nodes(), size=motif.number_of_nodes(),
+                       replace=False)
+    mapping = {m: int(h) for m, h in zip(motif.nodes, hosts)}
+    for m_node, data in motif.nodes(data=True):
+        graph.nodes[mapping[m_node]]["label"] = data["label"]
+    for a, b, data in motif.edges(data=True):
+        graph.add_edge(mapping[a], mapping[b], label=data["label"])
+
+
+def generate_graphs(
+    spec: GraphSpec, return_motifs: bool = False
+) -> GraphDataset | tuple[GraphDataset, list[list[nx.Graph]]]:
+    """Generate a :class:`GraphDataset` from a spec (deterministic)."""
+    rng = np.random.default_rng(spec.seed)
+    motifs = [
+        [
+            make_motif(rng, spec.motif_size, spec.node_labels, spec.edge_labels)
+            for _ in range(spec.motifs_per_class)
+        ]
+        for _ in range(spec.n_classes)
+    ]
+
+    labels = rng.integers(0, spec.n_classes, spec.n_rows).astype(np.int32)
+    graphs: list[nx.Graph] = []
+    for i in range(spec.n_rows):
+        graph = _random_background(rng, spec)
+        if rng.random() < spec.motif_strength:
+            class_motifs = motifs[int(labels[i])]
+            motif = class_motifs[int(rng.integers(len(class_motifs)))]
+            _embed(graph, motif, rng)
+        graphs.append(graph)
+
+    flip = rng.random(spec.n_rows) < spec.label_noise
+    if flip.any():
+        labels[flip] = rng.integers(spec.n_classes, size=int(flip.sum())).astype(
+            np.int32
+        )
+
+    dataset = GraphDataset(
+        name=spec.name, graphs=graphs, labels=labels, n_classes=spec.n_classes
+    )
+    if return_motifs:
+        return dataset, motifs
+    return dataset

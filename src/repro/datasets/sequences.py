@@ -1,0 +1,138 @@
+"""Sequence classification data (the paper's future-work direction).
+
+A labelled sequence dataset plus a planted-motif generator: class
+membership is driven by the *presence of subsequence motifs*, the
+sequential analogue of the itemset generator's planted combos.  Used by
+the sequence-classification example and tests of the PrefixSpan extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SequenceDataset", "SequenceSpec", "generate_sequences"]
+
+
+@dataclass
+class SequenceDataset:
+    """Labelled variable-length sequences over an integer alphabet."""
+
+    name: str
+    sequences: list[tuple[int, ...]]
+    labels: np.ndarray
+    alphabet_size: int
+    n_classes: int
+
+    def __post_init__(self) -> None:
+        self.labels = np.asarray(self.labels, dtype=np.int32)
+        if len(self.sequences) != len(self.labels):
+            raise ValueError("sequences and labels must align")
+        for sequence in self.sequences:
+            if sequence and (min(sequence) < 0 or max(sequence) >= self.alphabet_size):
+                raise ValueError("sequence items outside the alphabet")
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.sequences)
+
+    def subset(self, indices) -> "SequenceDataset":
+        indices = np.asarray(indices)
+        return SequenceDataset(
+            name=self.name,
+            sequences=[self.sequences[int(i)] for i in indices],
+            labels=self.labels[indices],
+            alphabet_size=self.alphabet_size,
+            n_classes=self.n_classes,
+        )
+
+    def class_partition(self) -> dict[int, list[tuple[int, ...]]]:
+        partition: dict[int, list[tuple[int, ...]]] = {
+            c: [] for c in range(self.n_classes)
+        }
+        for sequence, label in zip(self.sequences, self.labels):
+            partition[int(label)].append(sequence)
+        return partition
+
+
+@dataclass(frozen=True)
+class SequenceSpec:
+    """Planted-motif sequence dataset recipe.
+
+    Each class owns ``motifs_per_class`` short motifs; a row of class c
+    embeds one of c's motifs (as a subsequence, with random spacing) into a
+    random background sequence with probability ``motif_strength``.
+    """
+
+    name: str
+    n_rows: int
+    alphabet_size: int = 8
+    n_classes: int = 2
+    sequence_length: int = 12
+    motif_length: int = 3
+    motifs_per_class: int = 2
+    motif_strength: float = 0.85
+    label_noise: float = 0.02
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.motif_length > self.sequence_length:
+            raise ValueError("motif_length cannot exceed sequence_length")
+        if self.alphabet_size < 2:
+            raise ValueError("alphabet_size must be >= 2")
+        if not 0.0 <= self.motif_strength <= 1.0:
+            raise ValueError("motif_strength must be in [0, 1]")
+
+
+def generate_sequences(
+    spec: SequenceSpec, return_motifs: bool = False
+) -> SequenceDataset | tuple[SequenceDataset, list[list[tuple[int, ...]]]]:
+    """Generate a :class:`SequenceDataset` from a spec (deterministic)."""
+    rng = np.random.default_rng(spec.seed)
+
+    motifs: list[list[tuple[int, ...]]] = []
+    used: set[tuple[int, ...]] = set()
+    for _ in range(spec.n_classes):
+        class_motifs = []
+        while len(class_motifs) < spec.motifs_per_class:
+            motif = tuple(
+                int(v) for v in rng.integers(0, spec.alphabet_size, spec.motif_length)
+            )
+            if motif not in used:
+                used.add(motif)
+                class_motifs.append(motif)
+        motifs.append(class_motifs)
+
+    labels = rng.integers(0, spec.n_classes, spec.n_rows).astype(np.int32)
+    sequences: list[tuple[int, ...]] = []
+    for i in range(spec.n_rows):
+        background = [
+            int(v) for v in rng.integers(0, spec.alphabet_size, spec.sequence_length)
+        ]
+        if rng.random() < spec.motif_strength:
+            class_motifs = motifs[int(labels[i])]
+            motif = class_motifs[int(rng.integers(len(class_motifs)))]
+            positions = np.sort(
+                rng.choice(spec.sequence_length, size=len(motif), replace=False)
+            )
+            for position, item in zip(positions, motif):
+                background[int(position)] = item
+        sequences.append(tuple(background))
+
+    flip = rng.random(spec.n_rows) < spec.label_noise
+    if flip.any():
+        labels[flip] = rng.integers(spec.n_classes, size=int(flip.sum())).astype(
+            np.int32
+        )
+
+    dataset = SequenceDataset(
+        name=spec.name,
+        sequences=sequences,
+        labels=labels,
+        alphabet_size=spec.alphabet_size,
+        n_classes=spec.n_classes,
+    )
+    if return_motifs:
+        return dataset, motifs
+    return dataset

@@ -1,0 +1,405 @@
+"""Synthetic categorical datasets with *planted conjunctive structure*.
+
+The paper evaluates on UCI datasets that are not redistributable here, so the
+benchmark datasets are generated.  What matters for reproducing the paper's
+claims is not the exact UCI rows but the *statistical structure* its
+arguments rely on:
+
+* class membership is driven by **combinations** of attribute values, so
+  frequent patterns capture semantics single features cannot (Section 3.1.1,
+  Figure 1);
+* the combinations of different classes are dealt from a *shared* value-combo
+  space over the same attributes, so individual items recur across classes
+  and a single (attribute, value) feature is only weakly predictive;
+* a small number of weakly class-skewed single attributes set a realistic
+  single-feature baseline (real UCI Item_All accuracies are well above
+  chance);
+* rows carry attribute noise, label noise and irrelevant attributes, so
+  low-support patterns are unreliable (Figures 2-3, the overfitting
+  argument);
+* dense low-arity datasets make exhaustive enumeration at ``min_sup = 1``
+  blow up combinatorially (Tables 3-5).
+
+:class:`SyntheticSpec` parameterizes all of this; :func:`generate` is a pure,
+seeded function from spec to :class:`~repro.datasets.schema.Dataset`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from .schema import Attribute, Dataset
+
+__all__ = ["SyntheticSpec", "PlantedStructure", "generate", "plant_structure"]
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Recipe for a planted-pattern categorical dataset.
+
+    Parameters
+    ----------
+    name:
+        Dataset name (also used in error messages and reports).
+    n_rows, n_attributes, n_classes:
+        Table shape, matching the published shape of the UCI dataset a spec
+        stands in for.
+    arity:
+        Domain size of every attribute (UCI data after discretization is
+        typically 2-5).
+    pattern_attributes:
+        Size L of the *signal block*: the attributes whose joint value
+        combination determines the class.  Must satisfy
+        ``arity ** pattern_attributes >= n_classes * combos_per_class``.
+    combos_per_class:
+        Number of value combinations dealt to each class from the shared
+        ``arity ** L`` combo space.
+    pattern_strength:
+        Probability that a row of class c expresses one of c's combos; the
+        rest of the rows fill the signal block uniformly.
+    single_attributes:
+        Number of weakly class-skewed single attributes (sets the
+        single-feature baseline accuracy).
+    single_strength:
+        Probability mass moved toward the class-preferred value on those
+        attributes (0 = no skew, 1 = deterministic).
+    attribute_noise:
+        Per-cell probability that an expressed combo cell is replaced by a
+        uniform value (creates near-miss rows and low-support noise
+        patterns).
+    label_noise:
+        Probability that a row's label is resampled uniformly.
+    class_priors:
+        Optional class distribution; uniform if omitted.
+    value_bias:
+        Optional (low, high) range: each attribute gets a *dominant*
+        background value taken with probability drawn from the range.
+        Dense UCI datasets (Chess) have heavily skewed value marginals —
+        this is what makes combinations of dominant values frequent at very
+        high support thresholds and the min_sup = 1 enumeration explode.
+        ``None`` keeps backgrounds uniform.
+    noise_cliques, clique_size, clique_noise:
+        Number of *class-independent* correlated attribute groups carved
+        out of the free attributes: members of a clique copy a shared
+        latent value (corrupted with probability ``clique_noise``).  Real
+        categorical data is full of such redundant attribute groups; they
+        flood the miner with frequent but non-discriminative patterns —
+        exactly the features that make Pat_All overfit and that MMRFS is
+        designed to reject.
+    seed:
+        RNG seed; generation is fully deterministic given the spec.
+    """
+
+    name: str
+    n_rows: int
+    n_attributes: int
+    n_classes: int
+    arity: int = 3
+    pattern_attributes: int = 3
+    combos_per_class: int = 3
+    pattern_strength: float = 0.85
+    single_attributes: int = 2
+    single_strength: float = 0.25
+    attribute_noise: float = 0.05
+    label_noise: float = 0.03
+    class_priors: tuple[float, ...] | None = None
+    value_bias: tuple[float, float] | None = None
+    noise_cliques: int = 0
+    clique_size: int = 3
+    clique_noise: float = 0.15
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_rows <= 0 or self.n_attributes <= 0 or self.n_classes <= 0:
+            raise ValueError("n_rows, n_attributes and n_classes must be positive")
+        if self.arity < 2:
+            raise ValueError("arity must be >= 2")
+        if self.pattern_attributes < 1:
+            raise ValueError("pattern_attributes must be >= 1")
+        reserved = (
+            self.pattern_attributes
+            + self.single_attributes
+            + self.noise_cliques * self.clique_size
+        )
+        if reserved > self.n_attributes:
+            raise ValueError(
+                "pattern_attributes + single_attributes + clique attributes "
+                f"({reserved}) cannot exceed n_attributes ({self.n_attributes})"
+            )
+        if self.noise_cliques < 0:
+            raise ValueError("noise_cliques must be >= 0")
+        if self.noise_cliques and self.clique_size < 2:
+            raise ValueError("clique_size must be >= 2")
+        if not 0.0 <= self.clique_noise <= 1.0:
+            raise ValueError("clique_noise must be in [0, 1]")
+        combo_space = self.arity**self.pattern_attributes
+        if combo_space < self.n_classes * self.combos_per_class:
+            raise ValueError(
+                f"combo space {combo_space} too small for "
+                f"{self.n_classes} classes x {self.combos_per_class} combos"
+            )
+        for field_name in ("pattern_strength", "single_strength",
+                           "attribute_noise", "label_noise"):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{field_name} must be in [0, 1]")
+        if self.class_priors is not None:
+            if len(self.class_priors) != self.n_classes:
+                raise ValueError("class_priors must have one entry per class")
+            if abs(sum(self.class_priors) - 1.0) > 1e-9:
+                raise ValueError("class_priors must sum to 1")
+        if self.value_bias is not None:
+            low, high = self.value_bias
+            if not 0.0 <= low <= high <= 1.0:
+                raise ValueError("value_bias must be an ascending range in [0, 1]")
+
+    def scaled(self, factor: float) -> "SyntheticSpec":
+        """A copy with ``n_rows`` multiplied by ``factor`` (min 10 rows).
+
+        Used by the benchmark harness to shrink the large scalability
+        datasets to laptop scale without changing their structure.
+        """
+        return replace(self, n_rows=max(10, int(round(self.n_rows * factor))))
+
+
+@dataclass(frozen=True)
+class PlantedStructure:
+    """The ground truth planted into a generated dataset.
+
+    Attributes
+    ----------
+    signal_attributes:
+        Attribute indices of the signal block (length L).
+    combos:
+        ``combos[c]`` is the tuple of value combinations dealt to class c;
+        each combination is a tuple of value indices aligned with
+        ``signal_attributes``.
+    single_preferences:
+        ``(attribute index, preferred value per class)`` for each weak
+        single-signal attribute.
+    cliques:
+        Attribute-index groups forming class-independent correlated
+        cliques.
+    """
+
+    signal_attributes: tuple[int, ...]
+    combos: tuple[tuple[tuple[int, ...], ...], ...]
+    single_preferences: tuple[tuple[int, tuple[int, ...]], ...]
+    cliques: tuple[tuple[int, ...], ...] = ()
+
+
+def _column_shuffle_deal(
+    spec: SyntheticSpec, rng: np.random.Generator
+) -> list[list[tuple[int, ...]]] | None:
+    """Deal combos by column-wise row permutation (marginal-matched classes).
+
+    Class 0 gets ``r`` random distinct combos (an r x L matrix); every other
+    class gets a matrix whose column j is a random permutation of class 0's
+    column j.  Per-attribute value marginals are then *identical* across
+    classes, so no single item of the signal block carries any class signal
+    — only the combinations do.  This is the XOR idea (paper Section 3.1.1)
+    generalized to r combos, L attributes and m classes.
+
+    Returns None when distinct matrices cannot be found (tiny combo spaces
+    with many classes); the caller falls back to a random deal.
+    """
+    r = spec.combos_per_class
+    length = spec.pattern_attributes
+    for _ in range(200):
+        base = rng.integers(0, spec.arity, size=(r, length))
+        if len({tuple(row) for row in base}) < r:
+            continue
+        seen = {tuple(int(v) for v in row) for row in base}
+        matrices = [base]
+        success = True
+        for _ in range(1, spec.n_classes):
+            placed = False
+            for _ in range(200):
+                candidate = np.stack(
+                    [base[rng.permutation(r), j] for j in range(length)], axis=1
+                )
+                rows = {tuple(int(v) for v in row) for row in candidate}
+                if len(rows) == r and not (rows & seen):
+                    seen |= rows
+                    matrices.append(candidate)
+                    placed = True
+                    break
+            if not placed:
+                success = False
+                break
+        if success:
+            return [
+                [tuple(int(v) for v in row) for row in matrix]
+                for matrix in matrices
+            ]
+    return None
+
+
+def _deal_combos(
+    spec: SyntheticSpec, rng: np.random.Generator
+) -> list[list[tuple[int, ...]]]:
+    """Assign value combinations to classes from the shared combo space.
+
+    Preferred scheme: :func:`_column_shuffle_deal` (zero single-item signal
+    in the block).  When that is infeasible — many classes over a tiny combo
+    space — falls back to dealing distinct random combos round-robin, which
+    still shares item vocabulary across classes.
+    """
+    dealt = _column_shuffle_deal(spec, rng)
+    if dealt is not None:
+        return dealt
+
+    shape = (spec.arity,) * spec.pattern_attributes
+    combo_space = spec.arity**spec.pattern_attributes
+    needed = spec.n_classes * spec.combos_per_class
+    chosen = rng.choice(combo_space, size=needed, replace=False)
+    per_class: list[list[tuple[int, ...]]] = [[] for _ in range(spec.n_classes)]
+    for position, code in enumerate(chosen):
+        combo = tuple(int(v) for v in np.unravel_index(int(code), shape))
+        per_class[position % spec.n_classes].append(combo)
+    return per_class
+
+
+def plant_structure(spec: SyntheticSpec, rng: np.random.Generator) -> PlantedStructure:
+    """Deal class combos and single-attribute preferences for a spec."""
+    attributes = rng.permutation(spec.n_attributes)
+    signal = tuple(int(a) for a in attributes[: spec.pattern_attributes])
+    singles = tuple(
+        int(a)
+        for a in attributes[
+            spec.pattern_attributes : spec.pattern_attributes + spec.single_attributes
+        ]
+    )
+    clique_pool = attributes[
+        spec.pattern_attributes + spec.single_attributes :
+    ]
+    cliques = tuple(
+        tuple(
+            int(a)
+            for a in clique_pool[k * spec.clique_size : (k + 1) * spec.clique_size]
+        )
+        for k in range(spec.noise_cliques)
+    )
+    per_class = _deal_combos(spec, rng)
+
+    # Each class gets a random *codeword* over the single-signal attributes.
+    # Individual attributes may share values across classes (that is fine —
+    # they are weak features), but whole codewords are kept distinct so the
+    # joint single-attribute signal can separate every class, mirroring how
+    # real UCI datasets have informative single features.
+    single_preferences: tuple[tuple[int, tuple[int, ...]], ...] = ()
+    if singles:
+        for _ in range(500):
+            codewords = rng.integers(
+                0, spec.arity, size=(spec.n_classes, len(singles))
+            )
+            distinct = len({tuple(int(v) for v in row) for row in codewords})
+            if distinct == spec.n_classes:
+                break
+        single_preferences = tuple(
+            (
+                attribute,
+                tuple(int(codewords[c, j]) for c in range(spec.n_classes)),
+            )
+            for j, attribute in enumerate(singles)
+        )
+    return PlantedStructure(
+        signal_attributes=signal,
+        combos=tuple(tuple(c) for c in per_class),
+        single_preferences=single_preferences,
+        cliques=cliques,
+    )
+
+
+def generate(
+    spec: SyntheticSpec, return_structure: bool = False
+) -> Dataset | tuple[Dataset, PlantedStructure]:
+    """Generate a :class:`Dataset` from a :class:`SyntheticSpec`.
+
+    Deterministic: the same spec (including seed) always yields the same
+    rows.  Attribute ``j`` gets domain values ``v0 .. v{arity-1}``.  Pass
+    ``return_structure=True`` to also receive the planted ground truth
+    (used by tests and the figure experiments).
+    """
+    rng = np.random.default_rng(spec.seed)
+    structure = plant_structure(spec, rng)
+
+    priors = (
+        np.asarray(spec.class_priors, dtype=float)
+        if spec.class_priors is not None
+        else np.full(spec.n_classes, 1.0 / spec.n_classes)
+    )
+    labels = rng.choice(spec.n_classes, size=spec.n_rows, p=priors).astype(np.int32)
+
+    # Background: uniform over the domain, or skewed toward a per-attribute
+    # dominant value when value_bias is set (dense-dataset regime).
+    rows = rng.integers(
+        0, spec.arity, size=(spec.n_rows, spec.n_attributes), dtype=np.int64
+    ).astype(np.int32)
+    if spec.value_bias is not None:
+        low, high = spec.value_bias
+        dominant_probability = rng.uniform(low, high, spec.n_attributes)
+        dominant_value = rng.integers(0, spec.arity, spec.n_attributes)
+        take_dominant = rng.random((spec.n_rows, spec.n_attributes)) < (
+            dominant_probability[np.newaxis, :]
+        )
+        # Non-dominant cells spread uniformly over the other values.
+        offsets = rng.integers(
+            1, spec.arity, size=(spec.n_rows, spec.n_attributes)
+        )
+        rows = np.where(
+            take_dominant,
+            dominant_value[np.newaxis, :],
+            (dominant_value[np.newaxis, :] + offsets) % spec.arity,
+        ).astype(np.int32)
+
+    # Class-independent correlated cliques: members copy a shared latent
+    # value, corrupted with probability clique_noise.
+    for clique in structure.cliques:
+        latent = rng.integers(0, spec.arity, spec.n_rows)
+        for attribute in clique:
+            values = latent.copy()
+            corrupt = rng.random(spec.n_rows) < spec.clique_noise
+            if corrupt.any():
+                values[corrupt] = rng.integers(0, spec.arity, int(corrupt.sum()))
+            rows[:, attribute] = values.astype(np.int32)
+
+    # Signal block: rows expressing one of their class's combos.
+    expresses = rng.random(spec.n_rows) < spec.pattern_strength
+    signal = np.asarray(structure.signal_attributes)
+    for i in np.where(expresses)[0]:
+        class_combos = structure.combos[int(labels[i])]
+        combo = class_combos[int(rng.integers(len(class_combos)))]
+        for attribute, value in zip(signal, combo):
+            if rng.random() < spec.attribute_noise:
+                continue
+            rows[i, attribute] = value
+
+    # Weak single-attribute signal.
+    for attribute, preferred in structure.single_preferences:
+        skewed = rng.random(spec.n_rows) < spec.single_strength
+        for i in np.where(skewed)[0]:
+            rows[i, attribute] = preferred[int(labels[i])]
+
+    flip = rng.random(spec.n_rows) < spec.label_noise
+    if flip.any():
+        labels[flip] = rng.integers(
+            spec.n_classes, size=int(flip.sum())
+        ).astype(np.int32)
+
+    attributes = [
+        Attribute(f"a{j}", tuple(f"v{v}" for v in range(spec.arity)))
+        for j in range(spec.n_attributes)
+    ]
+    dataset = Dataset(
+        name=spec.name,
+        attributes=attributes,
+        rows=rows,
+        labels=labels,
+        class_names=tuple(f"class{c}" for c in range(spec.n_classes)),
+    )
+    if return_structure:
+        return dataset, structure
+    return dataset

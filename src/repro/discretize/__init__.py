@@ -1,0 +1,14 @@
+"""Discretization substrate: continuous attributes -> categorical bins."""
+
+from .base import Discretizer, apply_cuts, discretize_table
+from .mdlp import MDLP
+from .unsupervised import EqualFrequency, EqualWidth
+
+__all__ = [
+    "Discretizer",
+    "apply_cuts",
+    "discretize_table",
+    "EqualWidth",
+    "EqualFrequency",
+    "MDLP",
+]

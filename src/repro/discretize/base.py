@@ -1,0 +1,92 @@
+"""Common interface for discretizers.
+
+The paper's pipeline discretizes continuous attributes before the
+(attribute, value) -> item mapping (Section 2).  A discretizer learns cut
+points per numeric column and converts the column into ordinal bin indices;
+:func:`discretize_table` then packages a numeric matrix as a categorical
+:class:`~repro.datasets.schema.Dataset`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from ..datasets.schema import Attribute, Dataset
+
+__all__ = ["Discretizer", "apply_cuts", "discretize_table"]
+
+
+def apply_cuts(column: np.ndarray, cuts: Sequence[float]) -> np.ndarray:
+    """Map numeric values to bin indices given ascending cut points.
+
+    ``len(cuts)`` cut points produce ``len(cuts) + 1`` bins; value ``v`` falls
+    in bin ``i`` iff ``cuts[i-1] < v <= cuts[i]`` (left-open, right-closed,
+    matching Fayyad-Irani's convention).
+    """
+    cuts = np.asarray(cuts, dtype=float)
+    return np.searchsorted(cuts, np.asarray(column, dtype=float), side="left").astype(
+        np.int32
+    )
+
+
+class Discretizer(ABC):
+    """Learns per-column cut points from (values, labels)."""
+
+    @abstractmethod
+    def fit_column(self, values: np.ndarray, labels: np.ndarray) -> list[float]:
+        """Return ascending cut points for one numeric column.
+
+        An empty list means the column collapses to a single bin.
+        ``labels`` may be ignored by unsupervised discretizers.
+        """
+
+    def fit(self, matrix: np.ndarray, labels: np.ndarray) -> list[list[float]]:
+        """Cut points for every column of a numeric matrix."""
+        matrix = np.asarray(matrix, dtype=float)
+        labels = np.asarray(labels)
+        return [self.fit_column(matrix[:, j], labels) for j in range(matrix.shape[1])]
+
+    def fit_transform(
+        self, matrix: np.ndarray, labels: np.ndarray
+    ) -> tuple[np.ndarray, list[list[float]]]:
+        """Discretize a matrix; returns (bin-index matrix, per-column cuts)."""
+        cuts = self.fit(matrix, labels)
+        matrix = np.asarray(matrix, dtype=float)
+        binned = np.column_stack(
+            [apply_cuts(matrix[:, j], c) for j, c in enumerate(cuts)]
+        )
+        return binned.astype(np.int32), cuts
+
+
+def discretize_table(
+    matrix: np.ndarray,
+    labels: Sequence[int] | np.ndarray,
+    discretizer: Discretizer,
+    name: str = "numeric",
+    attribute_names: Sequence[str] | None = None,
+) -> Dataset:
+    """Discretize a numeric matrix into a categorical :class:`Dataset`.
+
+    Each column becomes one categorical attribute whose values are the bin
+    labels ``bin0 .. binK``.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    labels = np.asarray(labels, dtype=np.int32)
+    if attribute_names is None:
+        attribute_names = [f"x{j}" for j in range(matrix.shape[1])]
+    binned, cuts = discretizer.fit_transform(matrix, labels)
+    attributes = []
+    for j, column_cuts in enumerate(cuts):
+        n_bins = len(column_cuts) + 1
+        attributes.append(
+            Attribute(str(attribute_names[j]), tuple(f"bin{b}" for b in range(n_bins)))
+        )
+    return Dataset(
+        name=name,
+        attributes=attributes,
+        rows=binned,
+        labels=labels,
+    )

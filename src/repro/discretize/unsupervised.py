@@ -1,0 +1,58 @@
+"""Unsupervised discretizers: equal-width and equal-frequency binning."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Discretizer
+
+__all__ = ["EqualWidth", "EqualFrequency"]
+
+
+class EqualWidth(Discretizer):
+    """Split each column's range into ``n_bins`` equal-width intervals.
+
+    Constant columns collapse to a single bin.
+    """
+
+    def __init__(self, n_bins: int = 4) -> None:
+        if n_bins < 1:
+            raise ValueError("n_bins must be >= 1")
+        self.n_bins = n_bins
+
+    def fit_column(self, values: np.ndarray, labels: np.ndarray) -> list[float]:
+        values = np.asarray(values, dtype=float)
+        low, high = float(values.min()), float(values.max())
+        if low == high or self.n_bins == 1:
+            return []
+        edges = np.linspace(low, high, self.n_bins + 1)[1:-1]
+        return [float(e) for e in edges]
+
+
+class EqualFrequency(Discretizer):
+    """Split each column at empirical quantiles so bins hold ~equal counts.
+
+    Duplicate quantiles (heavy ties) are merged, so the realized number of
+    bins can be smaller than requested.
+    """
+
+    def __init__(self, n_bins: int = 4) -> None:
+        if n_bins < 1:
+            raise ValueError("n_bins must be >= 1")
+        self.n_bins = n_bins
+
+    def fit_column(self, values: np.ndarray, labels: np.ndarray) -> list[float]:
+        values = np.asarray(values, dtype=float)
+        if self.n_bins == 1 or values.min() == values.max():
+            return []
+        quantiles = np.quantile(
+            values, np.linspace(0, 1, self.n_bins + 1)[1:-1], method="linear"
+        )
+        cuts: list[float] = []
+        for q in quantiles:
+            q = float(q)
+            if not cuts or q > cuts[-1]:
+                cuts.append(q)
+        # A cut at (or above) the max puts the whole column left of it; drop.
+        maximum = float(values.max())
+        return [c for c in cuts if c < maximum]

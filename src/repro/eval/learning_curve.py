@@ -1,0 +1,113 @@
+"""Learning curves: accuracy vs. training-set size.
+
+Supports the paper's generalization argument (Section 3.1.2): a model
+induced from frequent features "has statistical significance, thus
+generalizes well", while infrequent features are "built based on
+statistically minor observations" and overfit — which shows up as a wider
+train/test gap at small training sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..datasets.transactions import TransactionDataset
+from .cross_validation import stratified_kfold
+
+__all__ = ["LearningCurvePoint", "LearningCurve", "learning_curve"]
+
+
+@dataclass(frozen=True)
+class LearningCurvePoint:
+    """Mean train/test accuracy at one training-set size."""
+
+    n_train: int
+    train_accuracy: float
+    test_accuracy: float
+
+    @property
+    def generalization_gap(self) -> float:
+        return self.train_accuracy - self.test_accuracy
+
+
+@dataclass
+class LearningCurve:
+    """A full curve plus a text rendering."""
+
+    points: list[LearningCurvePoint]
+
+    def render(self) -> str:
+        header = f"{'n_train':>8s} {'train%':>8s} {'test%':>8s} {'gap':>7s}"
+        lines = [header, "-" * len(header)]
+        for point in self.points:
+            lines.append(
+                f"{point.n_train:8d} {100 * point.train_accuracy:8.2f} "
+                f"{100 * point.test_accuracy:8.2f} "
+                f"{100 * point.generalization_gap:7.2f}"
+            )
+        return "\n".join(lines)
+
+    def test_accuracies(self) -> list[float]:
+        return [p.test_accuracy for p in self.points]
+
+
+def learning_curve(
+    pipeline_factory: Callable[[], object],
+    data: TransactionDataset,
+    fractions: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0),
+    n_repeats: int = 3,
+    test_fraction: float = 1.0 / 3.0,
+    seed: int = 0,
+) -> LearningCurve:
+    """Accuracy at growing training sizes against a fixed held-out split.
+
+    Parameters
+    ----------
+    pipeline_factory:
+        Zero-argument constructor of anything with fit/predict over
+        :class:`TransactionDataset` (e.g. a FrequentPatternClassifier
+        lambda).
+    fractions:
+        Fractions of the available training pool to use, ascending.
+    n_repeats:
+        Resamplings of each training subset (means are reported).
+    """
+    if not fractions or any(not 0.0 < f <= 1.0 for f in fractions):
+        raise ValueError("fractions must be in (0, 1]")
+    n_folds = max(2, int(round(1.0 / test_fraction)))
+    train_pool, test_indices = stratified_kfold(
+        data.labels, n_folds=n_folds, seed=seed
+    )[0]
+    test = data.subset(test_indices)
+    rng = np.random.default_rng(seed)
+
+    points: list[LearningCurvePoint] = []
+    for fraction in fractions:
+        n_train = max(2, int(round(fraction * len(train_pool))))
+        train_scores, test_scores = [], []
+        for _ in range(n_repeats):
+            chosen = rng.choice(train_pool, size=n_train, replace=False)
+            train = data.subset(chosen)
+            if len(np.unique(train.labels)) < 2:
+                continue  # degenerate resample; skip
+            pipeline = pipeline_factory()
+            pipeline.fit(train)
+            train_scores.append(
+                float((pipeline.predict(train) == train.labels).mean())
+            )
+            test_scores.append(
+                float((pipeline.predict(test) == test.labels).mean())
+            )
+        if not test_scores:
+            continue
+        points.append(
+            LearningCurvePoint(
+                n_train=n_train,
+                train_accuracy=float(np.mean(train_scores)),
+                test_accuracy=float(np.mean(test_scores)),
+            )
+        )
+    return LearningCurve(points=points)

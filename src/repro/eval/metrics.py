@@ -1,0 +1,78 @@
+"""Classification metrics used by the evaluation harness."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "accuracy",
+    "error_rate",
+    "confusion_matrix",
+    "per_class_accuracy",
+    "macro_f1",
+]
+
+
+def _check(predicted: np.ndarray, actual: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    predicted = np.asarray(predicted)
+    actual = np.asarray(actual)
+    if predicted.shape != actual.shape:
+        raise ValueError(
+            f"shape mismatch: predicted {predicted.shape} vs actual {actual.shape}"
+        )
+    if predicted.size == 0:
+        raise ValueError("cannot score empty predictions")
+    return predicted, actual
+
+
+def accuracy(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    predicted, actual = _check(predicted, actual)
+    return float((predicted == actual).mean())
+
+
+def error_rate(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """1 - accuracy."""
+    return 1.0 - accuracy(predicted, actual)
+
+
+def confusion_matrix(
+    predicted: np.ndarray, actual: np.ndarray, n_classes: int | None = None
+) -> np.ndarray:
+    """Matrix M with M[i, j] = count of (actual=i, predicted=j)."""
+    predicted, actual = _check(predicted, actual)
+    if n_classes is None:
+        n_classes = int(max(predicted.max(), actual.max())) + 1
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    for a, p in zip(actual, predicted):
+        matrix[int(a), int(p)] += 1
+    return matrix
+
+
+def per_class_accuracy(predicted: np.ndarray, actual: np.ndarray) -> np.ndarray:
+    """Recall of each class (0 for classes absent from ``actual``)."""
+    matrix = confusion_matrix(predicted, actual)
+    totals = matrix.sum(axis=1)
+    correct = np.diag(matrix)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.where(totals > 0, correct / np.maximum(totals, 1), 0.0)
+
+
+def macro_f1(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """Unweighted mean of per-class F1 scores."""
+    matrix = confusion_matrix(predicted, actual)
+    n_classes = matrix.shape[0]
+    f1_values = []
+    for c in range(n_classes):
+        true_positive = matrix[c, c]
+        actual_count = matrix[c, :].sum()
+        predicted_count = matrix[:, c].sum()
+        if actual_count == 0 and predicted_count == 0:
+            continue
+        precision = true_positive / predicted_count if predicted_count else 0.0
+        recall = true_positive / actual_count if actual_count else 0.0
+        if precision + recall == 0:
+            f1_values.append(0.0)
+        else:
+            f1_values.append(2 * precision * recall / (precision + recall))
+    return float(np.mean(f1_values)) if f1_values else 0.0

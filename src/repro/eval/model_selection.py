@@ -1,0 +1,93 @@
+"""Inner-loop model selection ("picked the best model", paper Section 4).
+
+Grid search over hyperparameter candidates scored by inner stratified
+cross-validation on the *training* split only, mirroring the paper's
+protocol of 10-fold CV on each training set before testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..classifiers.base import Classifier
+from .cross_validation import stratified_kfold
+
+__all__ = ["CandidateScore", "select_best_classifier", "svm_c_grid"]
+
+
+@dataclass(frozen=True)
+class CandidateScore:
+    """Inner-CV score of one hyperparameter candidate."""
+
+    index: int
+    mean_accuracy: float
+    description: str
+
+
+def svm_c_grid(values: Sequence[float] = (0.1, 1.0, 10.0)) -> list[float]:
+    """A conventional C grid for soft-margin SVM selection."""
+    return list(values)
+
+
+def select_best_classifier(
+    factories: Sequence[Callable[[], Classifier]],
+    features: np.ndarray,
+    labels: np.ndarray,
+    n_folds: int = 10,
+    seed: int = 0,
+    descriptions: Sequence[str] | None = None,
+) -> tuple[Classifier, list[CandidateScore]]:
+    """Pick the candidate with the best inner-CV accuracy and refit it.
+
+    Parameters
+    ----------
+    factories:
+        One zero-argument constructor per hyperparameter candidate.
+    features, labels:
+        The training split (the outer test fold must not be included).
+    n_folds:
+        Inner fold count; clamped down when a class is too small.
+
+    Returns
+    -------
+    (fitted_model, scores):
+        The winning model refitted on the full training split, plus the
+        per-candidate scores (useful for reporting).
+    """
+    if not factories:
+        raise ValueError("at least one candidate factory is required")
+    labels = np.asarray(labels)
+    smallest_class = int(np.bincount(labels).min()) if len(labels) else 0
+    effective_folds = max(2, min(n_folds, smallest_class, len(labels)))
+    if descriptions is None:
+        descriptions = [f"candidate_{i}" for i in range(len(factories))]
+
+    scores: list[CandidateScore] = []
+    if len(factories) == 1:
+        scores.append(CandidateScore(0, float("nan"), descriptions[0]))
+        best_index = 0
+    else:
+        folds = stratified_kfold(labels, n_folds=effective_folds, seed=seed)
+        for index, factory in enumerate(factories):
+            fold_accuracies = []
+            for train_indices, test_indices in folds:
+                model = factory()
+                model.fit(features[train_indices], labels[train_indices])
+                fold_accuracies.append(
+                    model.score(features[test_indices], labels[test_indices])
+                )
+            scores.append(
+                CandidateScore(
+                    index=index,
+                    mean_accuracy=float(np.mean(fold_accuracies)),
+                    description=descriptions[index],
+                )
+            )
+        best_index = max(scores, key=lambda s: s.mean_accuracy).index
+
+    best_model = factories[best_index]()
+    best_model.fit(features, labels)
+    return best_model, scores

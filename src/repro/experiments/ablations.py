@@ -1,0 +1,199 @@
+"""Ablation studies for the design choices the paper argues for.
+
+The paper's argumentation rests on several design decisions; each ablation
+isolates one:
+
+* **min_sup sweep** (Section 3.2, "The Minimum Support Effect"): accuracy
+  first rises as min_sup drops (more discriminative medium-frequency
+  patterns), then flattens or falls while cost explodes.
+* **selection strategy**: MMRFS vs. pure top-k relevance vs. no selection —
+  quantifies the redundancy term and the coverage stopping rule.
+* **coverage delta sweep**: how the per-instance coverage target trades
+  feature count against accuracy.
+* **closed vs. all** frequent patterns: closedness removes fully-redundant
+  sub-patterns before selection even starts.
+* **relevance measure**: information gain vs. Fisher score inside MMRFS.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..classifiers.linear_svm import LinearSVM
+from ..datasets.transactions import TransactionDataset
+from ..eval.cross_validation import cross_validate_pipeline
+from ..features.pipeline import FrequentPatternClassifier
+
+__all__ = [
+    "AblationPoint",
+    "AblationResult",
+    "sweep_min_support",
+    "compare_selection_strategies",
+    "sweep_delta",
+    "compare_miners",
+    "compare_relevance_measures",
+]
+
+
+@dataclass(frozen=True)
+class AblationPoint:
+    """One configuration's outcome."""
+
+    setting: str
+    accuracy: float
+    n_features: float
+    seconds: float
+
+
+@dataclass
+class AblationResult:
+    name: str
+    dataset: str
+    points: list[AblationPoint]
+
+    def render(self) -> str:
+        header = f"{'setting':>24s}  {'acc(%)':>7s}  {'#feat':>8s}  {'sec':>6s}"
+        lines = [f"Ablation: {self.name} on {self.dataset}", header]
+        for point in self.points:
+            lines.append(
+                f"{point.setting:>24s}  {100 * point.accuracy:7.2f}"
+                f"  {point.n_features:8.1f}  {point.seconds:6.2f}"
+            )
+        return "\n".join(lines)
+
+    def best(self) -> AblationPoint:
+        return max(self.points, key=lambda p: p.accuracy)
+
+
+def _evaluate(
+    factory, data: TransactionDataset, n_folds: int, seed: int
+) -> tuple[float, float, float]:
+    """(mean accuracy, mean selected-pattern count, wall seconds)."""
+    start = time.perf_counter()
+    report = cross_validate_pipeline(factory, data, n_folds=n_folds, seed=seed)
+    elapsed = time.perf_counter() - start
+    mean_patterns = sum(f.n_selected_patterns for f in report.folds) / len(
+        report.folds
+    )
+    return report.mean_accuracy, mean_patterns, elapsed
+
+
+def sweep_min_support(
+    data: TransactionDataset,
+    supports: list[float],
+    delta: int = 3,
+    max_length: int = 4,
+    n_folds: int = 3,
+    seed: int = 0,
+) -> AblationResult:
+    """Accuracy and cost as min_sup varies (the Section 3.2 effect)."""
+    points = []
+    for support in supports:
+        factory = lambda: FrequentPatternClassifier(  # noqa: E731
+            min_support=support,
+            delta=delta,
+            max_length=max_length,
+            classifier=LinearSVM(),
+        )
+        accuracy, n_features, seconds = _evaluate(factory, data, n_folds, seed)
+        points.append(
+            AblationPoint(f"min_sup={support:g}", accuracy, n_features, seconds)
+        )
+    return AblationResult("min_support sweep", data.name, points)
+
+
+def compare_selection_strategies(
+    data: TransactionDataset,
+    min_support: float = 0.1,
+    delta: int = 3,
+    top_k: int = 50,
+    max_length: int = 4,
+    n_folds: int = 3,
+    seed: int = 0,
+) -> AblationResult:
+    """MMRFS vs. top-k relevance vs. no selection at fixed min_sup."""
+    settings = [
+        ("mmrfs", dict(selection="mmrfs", delta=delta)),
+        ("topk", dict(selection="topk", top_k=top_k)),
+        ("none", dict(selection="none")),
+    ]
+    points = []
+    for name, kwargs in settings:
+        factory = lambda kw=kwargs: FrequentPatternClassifier(  # noqa: E731
+            min_support=min_support,
+            max_length=max_length,
+            classifier=LinearSVM(),
+            **kw,
+        )
+        accuracy, n_features, seconds = _evaluate(factory, data, n_folds, seed)
+        points.append(AblationPoint(name, accuracy, n_features, seconds))
+    return AblationResult("selection strategy", data.name, points)
+
+
+def sweep_delta(
+    data: TransactionDataset,
+    deltas: list[int],
+    min_support: float = 0.1,
+    max_length: int = 4,
+    n_folds: int = 3,
+    seed: int = 0,
+) -> AblationResult:
+    """Coverage threshold delta vs. accuracy and feature count."""
+    points = []
+    for delta in deltas:
+        factory = lambda d=delta: FrequentPatternClassifier(  # noqa: E731
+            min_support=min_support,
+            delta=d,
+            max_length=max_length,
+            classifier=LinearSVM(),
+        )
+        accuracy, n_features, seconds = _evaluate(factory, data, n_folds, seed)
+        points.append(AblationPoint(f"delta={delta}", accuracy, n_features, seconds))
+    return AblationResult("coverage delta sweep", data.name, points)
+
+
+def compare_miners(
+    data: TransactionDataset,
+    min_support: float = 0.1,
+    delta: int = 3,
+    max_length: int = 4,
+    n_folds: int = 3,
+    seed: int = 0,
+) -> AblationResult:
+    """Closed patterns vs. all frequent patterns as MMRFS candidates."""
+    points = []
+    for miner in ("closed", "all"):
+        factory = lambda m=miner: FrequentPatternClassifier(  # noqa: E731
+            min_support=min_support,
+            miner=m,
+            delta=delta,
+            max_length=max_length,
+            classifier=LinearSVM(),
+        )
+        accuracy, n_features, seconds = _evaluate(factory, data, n_folds, seed)
+        points.append(AblationPoint(miner, accuracy, n_features, seconds))
+    return AblationResult("closed vs all patterns", data.name, points)
+
+
+def compare_relevance_measures(
+    data: TransactionDataset,
+    min_support: float = 0.1,
+    delta: int = 3,
+    max_length: int = 4,
+    n_folds: int = 3,
+    seed: int = 0,
+) -> AblationResult:
+    """Information gain vs. Fisher score as the MMRFS relevance measure."""
+    points = []
+    for relevance in ("information_gain", "fisher"):
+        factory = lambda r=relevance: FrequentPatternClassifier(  # noqa: E731
+            min_support=min_support,
+            relevance=r,
+            delta=delta,
+            max_length=max_length,
+            classifier=LinearSVM(),
+        )
+        accuracy, n_features, seconds = _evaluate(factory, data, n_folds, seed)
+        points.append(AblationPoint(relevance, accuracy, n_features, seconds))
+    return AblationResult("relevance measure", data.name, points)

@@ -1,0 +1,91 @@
+"""Mapping D -> D' in B^{d'} (paper Section 2, after Definition 2).
+
+Given selected patterns Fs, every transaction becomes a binary vector over
+``I ∪ Fs``: the first ``d`` coordinates are the single-item indicators, the
+remaining ``|Fs|`` are pattern-presence indicators.  Featurization of the
+*test* set uses the patterns fixed at training time — no test leakage.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..datasets.transactions import TransactionDataset
+from ..mining.closed import occurrence_matrix
+from ..mining.itemsets import Pattern
+
+__all__ = ["PatternFeaturizer"]
+
+
+class PatternFeaturizer:
+    """Builds the ``I ∪ Fs`` feature space and transforms transactions.
+
+    Parameters
+    ----------
+    n_items:
+        Size ``d`` of the single-item space I.
+    patterns:
+        The selected patterns Fs (order defines feature layout).
+    include_items:
+        When False the output holds only pattern indicators — used by
+        ablations; the paper's framework always keeps I.
+    """
+
+    def __init__(
+        self,
+        n_items: int,
+        patterns: Sequence[Pattern] = (),
+        include_items: bool = True,
+    ) -> None:
+        if n_items < 0:
+            raise ValueError("n_items must be >= 0")
+        self.n_items = int(n_items)
+        self.patterns = list(patterns)
+        self.include_items = include_items
+
+    @property
+    def n_features(self) -> int:
+        """d' = |I| + |Fs| (or |Fs| when items are excluded)."""
+        base = self.n_items if self.include_items else 0
+        return base + len(self.patterns)
+
+    def feature_names(self, catalog=None) -> list[str]:
+        """Human-readable names, using an ItemCatalog when available."""
+        names: list[str] = []
+        if self.include_items:
+            if catalog is not None:
+                names.extend(catalog.item_names)
+            else:
+                names.extend(f"item:{i}" for i in range(self.n_items))
+        for pattern in self.patterns:
+            if catalog is not None:
+                names.append(f"pattern:{catalog.describe(pattern.items)}")
+            else:
+                names.append("pattern:{" + ",".join(map(str, pattern.items)) + "}")
+        return names
+
+    def transform(
+        self, data: TransactionDataset | Sequence[Sequence[int]]
+    ) -> np.ndarray:
+        """Binary design matrix (n_rows, n_features) as float64."""
+        transactions = (
+            data.transactions if isinstance(data, TransactionDataset) else list(data)
+        )
+        matrix = occurrence_matrix(transactions, n_items=self.n_items)
+        blocks = []
+        if self.include_items:
+            blocks.append(matrix.astype(np.float64))
+        if self.patterns:
+            pattern_block = np.empty((len(transactions), len(self.patterns)))
+            for column, pattern in enumerate(self.patterns):
+                items = list(pattern.items)
+                if items:
+                    pattern_block[:, column] = matrix[:, items].all(axis=1)
+                else:
+                    pattern_block[:, column] = 1.0
+            blocks.append(pattern_block)
+        if not blocks:
+            return np.zeros((len(transactions), 0))
+        return np.hstack(blocks)

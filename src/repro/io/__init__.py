@@ -1,0 +1,28 @@
+"""I/O substrate: ARFF/CSV dataset interop and pattern serialization."""
+
+from .arff import read_arff, write_arff
+from .csvio import read_csv, write_csv
+from .models import load_pipeline, model_from_json, model_to_json, save_pipeline
+from .serialize import (
+    load_patterns,
+    patterns_from_json,
+    patterns_to_json,
+    save_patterns,
+    selection_to_json,
+)
+
+__all__ = [
+    "read_arff",
+    "write_arff",
+    "read_csv",
+    "write_csv",
+    "patterns_to_json",
+    "patterns_from_json",
+    "save_patterns",
+    "load_patterns",
+    "selection_to_json",
+    "save_pipeline",
+    "load_pipeline",
+    "model_to_json",
+    "model_from_json",
+]

@@ -1,0 +1,122 @@
+"""Minimal ARFF reader/writer for categorical classification data.
+
+The paper runs C4.5 "in Weka"; ARFF is Weka's native format, so a
+reproduction that wants to exchange datasets with Weka needs this.  Only
+the subset relevant to this package is supported: nominal attributes and a
+nominal class attribute (continuous attributes should be discretized
+first — :mod:`repro.discretize`).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from ..datasets.schema import Attribute, Dataset
+
+__all__ = ["read_arff", "write_arff"]
+
+
+def _parse_nominal_domain(spec: str) -> tuple[str, ...]:
+    spec = spec.strip()
+    if not (spec.startswith("{") and spec.endswith("}")):
+        raise ValueError(
+            f"only nominal attributes are supported, got {spec!r} "
+            "(discretize continuous attributes first)"
+        )
+    return tuple(v.strip().strip("'\"") for v in spec[1:-1].split(","))
+
+
+def read_arff(source: str | Path | io.TextIOBase, class_attribute: str | None = None) -> Dataset:
+    """Read a nominal-attribute ARFF file into a :class:`Dataset`.
+
+    Parameters
+    ----------
+    source:
+        Path or open text stream.
+    class_attribute:
+        Name of the class attribute; defaults to the *last* declared
+        attribute (Weka's convention).
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return read_arff(handle, class_attribute)
+
+    relation = "arff"
+    names: list[str] = []
+    domains: list[tuple[str, ...]] = []
+    rows: list[list[str]] = []
+    in_data = False
+
+    for raw_line in source:
+        line = raw_line.strip()
+        if not line or line.startswith("%"):
+            continue
+        lowered = line.lower()
+        if in_data:
+            values = [v.strip().strip("'\"") for v in line.split(",")]
+            if len(values) != len(names):
+                raise ValueError(
+                    f"data row has {len(values)} values, expected {len(names)}"
+                )
+            rows.append(values)
+        elif lowered.startswith("@relation"):
+            relation = line.split(None, 1)[1].strip().strip("'\"")
+        elif lowered.startswith("@attribute"):
+            remainder = line.split(None, 1)[1]
+            # Name may be quoted and may contain spaces.
+            if remainder.startswith(("'", '"')):
+                quote = remainder[0]
+                closing = remainder.index(quote, 1)
+                name = remainder[1:closing]
+                spec = remainder[closing + 1 :]
+            else:
+                name, _, spec = remainder.partition(" ")
+            names.append(name.strip())
+            domains.append(_parse_nominal_domain(spec))
+        elif lowered.startswith("@data"):
+            in_data = True
+
+    if not names:
+        raise ValueError("no @attribute declarations found")
+    if class_attribute is None:
+        class_index = len(names) - 1
+    else:
+        try:
+            class_index = names.index(class_attribute)
+        except ValueError:
+            raise ValueError(
+                f"class attribute {class_attribute!r} not declared"
+            ) from None
+
+    feature_indices = [i for i in range(len(names)) if i != class_index]
+    value_rows = [[row[i] for i in feature_indices] for row in rows]
+    labels = [row[class_index] for row in rows]
+    dataset = Dataset.from_values(
+        name=relation,
+        attribute_names=[names[i] for i in feature_indices],
+        value_rows=value_rows,
+        labels=labels,
+    )
+    return dataset
+
+
+def write_arff(dataset: Dataset, target: str | Path | io.TextIOBase) -> None:
+    """Write a :class:`Dataset` as ARFF (class attribute last)."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            write_arff(dataset, handle)
+            return
+
+    target.write(f"@relation {dataset.name}\n\n")
+    for attribute in dataset.attributes:
+        domain = ",".join(attribute.values)
+        target.write(f"@attribute {attribute.name} {{{domain}}}\n")
+    class_domain = ",".join(dataset.class_names)
+    target.write(f"@attribute class {{{class_domain}}}\n\n@data\n")
+    for row, label in zip(dataset.rows, dataset.labels):
+        values = [
+            dataset.attributes[j].values[int(v)] for j, v in enumerate(row)
+        ]
+        values.append(dataset.class_names[int(label)])
+        target.write(",".join(values) + "\n")

@@ -1,0 +1,81 @@
+"""CSV reader/writer for categorical classification data."""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from ..datasets.schema import Dataset
+
+__all__ = ["read_csv", "write_csv"]
+
+
+def read_csv(
+    source: str | Path | io.TextIOBase,
+    class_column: str | int = -1,
+    name: str = "csv",
+    delimiter: str = ",",
+) -> Dataset:
+    """Read a header-first categorical CSV into a :class:`Dataset`.
+
+    Parameters
+    ----------
+    class_column:
+        Column holding the class label, by header name or index (negative
+        indices count from the right; default: last column).
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8", newline="") as handle:
+            return read_csv(handle, class_column, name=name, delimiter=delimiter)
+
+    reader = csv.reader(source, delimiter=delimiter)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ValueError("empty CSV") from None
+    header = [h.strip() for h in header]
+
+    if isinstance(class_column, str):
+        try:
+            class_index = header.index(class_column)
+        except ValueError:
+            raise ValueError(f"no column named {class_column!r}") from None
+    else:
+        class_index = class_column % len(header)
+
+    feature_indices = [i for i in range(len(header)) if i != class_index]
+    value_rows: list[list[str]] = []
+    labels: list[str] = []
+    for line_number, row in enumerate(reader, start=2):
+        if not row:
+            continue
+        if len(row) != len(header):
+            raise ValueError(
+                f"line {line_number}: {len(row)} fields, expected {len(header)}"
+            )
+        value_rows.append([row[i].strip() for i in feature_indices])
+        labels.append(row[class_index].strip())
+
+    return Dataset.from_values(
+        name=name,
+        attribute_names=[header[i] for i in feature_indices],
+        value_rows=value_rows,
+        labels=labels,
+    )
+
+
+def write_csv(dataset: Dataset, target: str | Path | io.TextIOBase) -> None:
+    """Write a :class:`Dataset` as CSV with the class in the last column."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8", newline="") as handle:
+            write_csv(dataset, handle)
+            return
+
+    writer = csv.writer(target)
+    writer.writerow([a.name for a in dataset.attributes] + ["class"])
+    for row, label in zip(dataset.rows, dataset.labels):
+        values = [
+            dataset.attributes[j].values[int(v)] for j, v in enumerate(row)
+        ]
+        writer.writerow(values + [dataset.class_names[int(label)]])

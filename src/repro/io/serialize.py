@@ -1,0 +1,108 @@
+"""JSON serialization of mined patterns and selection results.
+
+Mining large pattern sets is the expensive step of the framework; being
+able to persist and reload them (with supports and the item catalog needed
+to interpret them) makes the pipeline restartable and lets selected
+feature sets ship as artifacts.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+from ..datasets.transactions import ItemCatalog
+from ..mining.itemsets import MiningResult, Pattern
+from ..selection.mmrfs import SelectedFeature, SelectionResult
+
+__all__ = [
+    "patterns_to_json",
+    "patterns_from_json",
+    "save_patterns",
+    "load_patterns",
+    "selection_to_json",
+]
+
+_FORMAT_VERSION = 1
+
+
+def patterns_to_json(
+    result: MiningResult, catalog: ItemCatalog | None = None
+) -> dict:
+    """JSON-ready dict for a mining result (optionally with item names)."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "min_support": result.min_support,
+        "n_rows": result.n_rows,
+        "patterns": [
+            {"items": list(p.items), "support": p.support} for p in result.patterns
+        ],
+    }
+    if catalog is not None:
+        payload["item_names"] = list(catalog.item_names)
+    return payload
+
+
+def patterns_from_json(payload: dict) -> MiningResult:
+    """Inverse of :func:`patterns_to_json`."""
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported patterns format version: {version}")
+    patterns = [
+        Pattern(items=tuple(entry["items"]), support=int(entry["support"]))
+        for entry in payload["patterns"]
+    ]
+    return MiningResult(
+        patterns,
+        min_support=int(payload["min_support"]),
+        n_rows=int(payload["n_rows"]),
+    )
+
+
+def save_patterns(
+    result: MiningResult,
+    target: str | Path | io.TextIOBase,
+    catalog: ItemCatalog | None = None,
+) -> None:
+    """Persist a mining result as JSON."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            save_patterns(result, handle, catalog)
+            return
+    json.dump(patterns_to_json(result, catalog), target, indent=1)
+
+
+def load_patterns(source: str | Path | io.TextIOBase) -> MiningResult:
+    """Load a mining result saved by :func:`save_patterns`."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return load_patterns(handle)
+    return patterns_from_json(json.load(source))
+
+
+def selection_to_json(
+    selection: SelectionResult, catalog: ItemCatalog | None = None
+) -> dict:
+    """JSON-ready dict for an MMRFS run (selection order preserved)."""
+
+    def feature_entry(feature: SelectedFeature) -> dict:
+        entry = {
+            "items": list(feature.pattern.items),
+            "support": feature.pattern.support,
+            "relevance": feature.relevance,
+            "gain": feature.gain,
+            "majority_class": feature.majority_class,
+            "order": feature.order,
+        }
+        if catalog is not None:
+            entry["rendered"] = catalog.describe(feature.pattern.items)
+        return entry
+
+    return {
+        "format_version": _FORMAT_VERSION,
+        "delta": selection.delta,
+        "considered": selection.considered,
+        "fully_covered": selection.fully_covered,
+        "selected": [feature_entry(f) for f in selection.selected],
+    }

@@ -1,0 +1,32 @@
+"""Discriminative measures and the support-vs-power theory of the paper."""
+
+from .bounds import (
+    feasible_q_interval,
+    fisher_upper_bound,
+    h_lower_bound,
+    ig_upper_bound,
+    theta_star,
+)
+from .contingency import PatternStats, batch_pattern_stats, pattern_stats
+from .entropy import binary_entropy, conditional_entropy_binary, entropy
+from .fisher import fisher_score, fisher_score_binary, fisher_score_from_counts
+from .information_gain import information_gain, information_gain_from_counts
+
+__all__ = [
+    "entropy",
+    "binary_entropy",
+    "conditional_entropy_binary",
+    "PatternStats",
+    "pattern_stats",
+    "batch_pattern_stats",
+    "information_gain",
+    "information_gain_from_counts",
+    "fisher_score",
+    "fisher_score_from_counts",
+    "fisher_score_binary",
+    "feasible_q_interval",
+    "h_lower_bound",
+    "ig_upper_bound",
+    "fisher_upper_bound",
+    "theta_star",
+]

@@ -1,0 +1,110 @@
+"""Per-pattern contingency statistics: the bridge from data to measures.
+
+Every discriminative measure in this package is a function of the 2 x m
+contingency table of a binary pattern feature X against the class variable C.
+:class:`PatternStats` carries that table plus the derived (theta, p, q)
+parameters used throughout the paper's analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..datasets.transactions import TransactionDataset
+from ..mining.closed import occurrence_matrix
+from ..mining.itemsets import Pattern
+
+__all__ = ["PatternStats", "pattern_stats", "batch_pattern_stats"]
+
+
+@dataclass(frozen=True)
+class PatternStats:
+    """Contingency summary of one binary feature against the class labels.
+
+    Attributes
+    ----------
+    present:
+        Per-class counts among rows where the pattern is present
+        (length = n_classes).
+    absent:
+        Per-class counts among rows where it is absent.
+    """
+
+    present: tuple[int, ...]
+    absent: tuple[int, ...]
+
+    @property
+    def n_rows(self) -> int:
+        return sum(self.present) + sum(self.absent)
+
+    @property
+    def support(self) -> int:
+        """Absolute support |D_alpha|."""
+        return sum(self.present)
+
+    @property
+    def theta(self) -> float:
+        """Relative support P(x = 1)."""
+        n = self.n_rows
+        return self.support / n if n else 0.0
+
+    @property
+    def class_totals(self) -> tuple[int, ...]:
+        return tuple(a + b for a, b in zip(self.present, self.absent))
+
+    def prior(self, class_index: int = 1) -> float:
+        """p = P(c = class_index)."""
+        n = self.n_rows
+        return self.class_totals[class_index] / n if n else 0.0
+
+    def posterior(self, class_index: int = 1) -> float:
+        """q = P(c = class_index | x = 1); 0 when support is 0."""
+        support = self.support
+        return self.present[class_index] / support if support else 0.0
+
+
+def pattern_stats(
+    pattern: Pattern | Iterable[int],
+    data: TransactionDataset,
+) -> PatternStats:
+    """Contingency table of one pattern over a transaction dataset."""
+    items = pattern.items if isinstance(pattern, Pattern) else tuple(pattern)
+    mask = data.covers(items)
+    present = np.bincount(data.labels[mask], minlength=data.n_classes)
+    absent = np.bincount(data.labels[~mask], minlength=data.n_classes)
+    return PatternStats(
+        present=tuple(int(c) for c in present),
+        absent=tuple(int(c) for c in absent),
+    )
+
+
+def batch_pattern_stats(
+    patterns: Sequence[Pattern],
+    data: TransactionDataset,
+) -> list[PatternStats]:
+    """Contingency tables for many patterns, sharing one occurrence matrix."""
+    if not patterns:
+        return []
+    matrix = occurrence_matrix(data.transactions, n_items=data.n_items)
+    class_one_hot = np.zeros((data.n_rows, data.n_classes), dtype=np.int64)
+    class_one_hot[np.arange(data.n_rows), data.labels] = 1
+    class_totals = class_one_hot.sum(axis=0)
+
+    stats: list[PatternStats] = []
+    for pattern in patterns:
+        columns = list(pattern.items)
+        covered = matrix[:, columns].all(axis=1) if columns else np.ones(
+            data.n_rows, dtype=bool
+        )
+        present = class_one_hot[covered].sum(axis=0)
+        absent = class_totals - present
+        stats.append(
+            PatternStats(
+                present=tuple(int(c) for c in present),
+                absent=tuple(int(c) for c in absent),
+            )
+        )
+    return stats

@@ -1,0 +1,76 @@
+"""Fisher score of a binary pattern feature (paper Eq. 4).
+
+    Fr = sum_i n_i (mu_i - mu)^2  /  sum_i n_i sigma_i^2
+
+where for a binary feature mu_i = P(x=1 | c=i) and sigma_i^2 is the Bernoulli
+variance within class i.  When the denominator is zero (the feature is
+constant within every class) the score is defined as 0, matching the paper's
+convention below Eq. 5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .contingency import PatternStats
+
+__all__ = ["fisher_score", "fisher_score_from_counts", "fisher_score_binary"]
+
+
+def fisher_score_from_counts(
+    present: np.ndarray | tuple[int, ...],
+    absent: np.ndarray | tuple[int, ...],
+) -> float:
+    """Fisher score from per-class counts on the x=1 / x=0 branches."""
+    present = np.asarray(present, dtype=float)
+    absent = np.asarray(absent, dtype=float)
+    n_per_class = present + absent
+    n = n_per_class.sum()
+    if n == 0:
+        return 0.0
+
+    active = n_per_class > 0
+    mu_global = present.sum() / n
+    mu = np.zeros_like(n_per_class)
+    mu[active] = present[active] / n_per_class[active]
+    variance = mu * (1.0 - mu)
+
+    numerator = float((n_per_class * (mu - mu_global) ** 2).sum())
+    denominator = float((n_per_class * variance).sum())
+    if denominator <= 0.0:
+        # Zero within-class variance: score is 0 when there is also no
+        # between-class scatter (the paper's convention below Eq. 5) and
+        # infinite for a perfectly class-aligned feature.
+        return 0.0 if numerator <= 1e-15 else float("inf")
+    return numerator / denominator
+
+
+def fisher_score(stats: PatternStats) -> float:
+    """Fisher score for a pattern's contingency statistics."""
+    return fisher_score_from_counts(stats.present, stats.absent)
+
+
+def fisher_score_binary(p: float, q: float, theta: float) -> float:
+    """Closed-form Fisher score for binary class/feature (paper Eq. 5).
+
+    Uses the (p, q, theta) parameterization: Fr = Z / (Y - Z) with
+    Y = p(1-p)(1-theta) and Z = theta (p-q)^2; Fr = 0 when Y = 0.
+    Raises ``ValueError`` on infeasible parameter triples.
+    """
+    for name, value in (("p", p), ("q", q), ("theta", theta)):
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {value}")
+    tolerance = 1e-12
+    if theta * q > p + tolerance or theta * (1 - q) > (1 - p) + tolerance:
+        raise ValueError(
+            f"infeasible (p={p}, q={q}, theta={theta}): "
+            "P(c|x=0) would fall outside [0, 1]"
+        )
+    y = p * (1.0 - p) * (1.0 - theta)
+    z = theta * (p - q) ** 2
+    if y <= 0.0:
+        return 0.0
+    denominator = y - z
+    if denominator <= 0.0:
+        return float("inf")
+    return z / denominator

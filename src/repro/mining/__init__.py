@@ -1,0 +1,40 @@
+"""Frequent pattern mining substrate: Apriori, FP-growth, closed miners."""
+
+from .apriori import apriori
+from .charm import charm
+from .closed import brute_force_closed, closed_fpgrowth, occurrence_matrix
+from .fpgrowth import fpgrowth
+from .fptree import FPNode, FPTree
+from .generation import mine_class_patterns, recount_supports
+from .gspan import GraphPattern, contains_subgraph, gspan
+from .guards import GuardedMiningReport, guarded_mine
+from .itemsets import MiningResult, Pattern, PatternBudgetExceeded, canonical
+from .maximal import brute_force_maximal, maximal_frequent
+from .prefixspan import SequencePattern, is_subsequence, prefixspan
+
+__all__ = [
+    "apriori",
+    "fpgrowth",
+    "closed_fpgrowth",
+    "charm",
+    "brute_force_closed",
+    "occurrence_matrix",
+    "FPTree",
+    "FPNode",
+    "Pattern",
+    "MiningResult",
+    "PatternBudgetExceeded",
+    "canonical",
+    "maximal_frequent",
+    "brute_force_maximal",
+    "mine_class_patterns",
+    "recount_supports",
+    "guarded_mine",
+    "GuardedMiningReport",
+    "gspan",
+    "GraphPattern",
+    "contains_subgraph",
+    "prefixspan",
+    "SequencePattern",
+    "is_subsequence",
+]

@@ -1,0 +1,165 @@
+"""Closed frequent itemset mining (the role FPClose [9] plays in the paper).
+
+The paper uses *closed* patterns as features because a non-closed pattern is
+completely redundant w.r.t. its closure (Section 3.3).  This module
+implements an LCM-style closed miner (Uno et al.): depth-first enumeration of
+closed itemsets via *prefix-preserving closure extension*, which visits every
+closed frequent itemset exactly once with no duplicate detection and no
+storage of already-found patterns.
+
+The vertical representation is a boolean occurrence matrix (rows x items),
+so tidset intersection and closure computation are numpy column operations.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .itemsets import MiningResult, Pattern, PatternBudgetExceeded
+
+__all__ = ["closed_fpgrowth", "occurrence_matrix", "brute_force_closed"]
+
+
+def occurrence_matrix(
+    transactions: Sequence[Sequence[int]], n_items: int | None = None
+) -> np.ndarray:
+    """Boolean (n_rows, n_items) matrix: cell (t, i) = item i in transaction t."""
+    transactions = [tuple(set(t)) for t in transactions]
+    if n_items is None:
+        n_items = 1 + max((max(t) for t in transactions if t), default=-1)
+    matrix = np.zeros((len(transactions), n_items), dtype=bool)
+    for row, transaction in enumerate(transactions):
+        if transaction:
+            matrix[row, list(transaction)] = True
+    return matrix
+
+
+def closed_fpgrowth(
+    transactions: Sequence[Sequence[int]],
+    min_support: int,
+    max_length: int | None = None,
+    max_patterns: int | None = None,
+) -> MiningResult:
+    """Mine all *closed* frequent itemsets (absolute ``min_support``).
+
+    Output: every itemset X with support >= min_support such that no proper
+    superset of X has the same support.  Order of patterns is deterministic
+    (DFS over the prefix-preserving extension tree).
+
+    Raises
+    ------
+    PatternBudgetExceeded
+        If ``max_patterns`` closed patterns would be exceeded.
+    """
+    if min_support < 1:
+        raise ValueError("min_support is an absolute count and must be >= 1")
+    transactions = [tuple(t) for t in transactions]
+    n_rows = len(transactions)
+    matrix = occurrence_matrix(transactions)
+    n_items = matrix.shape[1]
+
+    patterns: list[Pattern] = []
+
+    def emit(items: np.ndarray, support: int) -> None:
+        patterns.append(Pattern(items=tuple(int(i) for i in items), support=support))
+        if max_patterns is not None and len(patterns) > max_patterns:
+            raise PatternBudgetExceeded(max_patterns, len(patterns))
+
+    if n_rows == 0 or n_items == 0 or n_rows < min_support:
+        return MiningResult(patterns, min_support=min_support, n_rows=n_rows)
+
+    column_counts = matrix.sum(axis=0)
+    frequent_items = np.nonzero(column_counts >= min_support)[0]
+    if len(frequent_items) == 0:
+        return MiningResult(patterns, min_support=min_support, n_rows=n_rows)
+
+    all_rows = np.ones(n_rows, dtype=bool)
+    root_closure = matrix.all(axis=0)  # items present in every transaction
+    root_items = np.nonzero(root_closure)[0]
+    if len(root_items) and (max_length is None or len(root_items) <= max_length):
+        emit(root_items, n_rows)
+
+    _expand(
+        matrix=matrix,
+        closure_mask=root_closure,
+        row_mask=all_rows,
+        core_item=-1,
+        frequent_items=frequent_items,
+        min_support=min_support,
+        max_length=max_length,
+        emit=emit,
+    )
+    return MiningResult(patterns, min_support=min_support, n_rows=n_rows)
+
+
+def _expand(
+    matrix: np.ndarray,
+    closure_mask: np.ndarray,
+    row_mask: np.ndarray,
+    core_item: int,
+    frequent_items: np.ndarray,
+    min_support: int,
+    max_length: int | None,
+    emit,
+) -> None:
+    """Prefix-preserving closure extension from one closed itemset.
+
+    ``closure_mask`` marks the items of the current closed set P;
+    ``row_mask`` marks its tidset.  For every frequent item i > core_item not
+    in P we compute Y = clo(P ∪ {i}); Y is accepted iff its items below i
+    coincide with P's (prefix preservation), which guarantees each closed set
+    is generated from exactly one parent.
+    """
+    for item in frequent_items:
+        item = int(item)
+        if item <= core_item or closure_mask[item]:
+            continue
+        new_rows = row_mask & matrix[:, item]
+        support = int(new_rows.sum())
+        if support < min_support:
+            continue
+        new_closure = matrix[new_rows].all(axis=0)
+        # Prefix preservation: no item < `item` may join the closure.
+        prefix_violation = (new_closure[:item] & ~closure_mask[:item]).any()
+        if prefix_violation:
+            continue
+        closure_items = np.nonzero(new_closure)[0]
+        if max_length is not None and len(closure_items) > max_length:
+            continue
+        emit(closure_items, support)
+        _expand(
+            matrix=matrix,
+            closure_mask=new_closure,
+            row_mask=new_rows,
+            core_item=item,
+            frequent_items=frequent_items,
+            min_support=min_support,
+            max_length=max_length,
+            emit=emit,
+        )
+
+
+def brute_force_closed(
+    transactions: Sequence[Sequence[int]], min_support: int
+) -> MiningResult:
+    """Reference closed miner: enumerate frequent sets, filter non-closed.
+
+    Exponential; only for cross-checking the fast miners on tiny data.
+    """
+    from .apriori import apriori
+
+    result = apriori(transactions, min_support)
+    support = result.as_dict()
+    closed: list[Pattern] = []
+    for items, sup in support.items():
+        itemset = set(items)
+        is_closed = not any(
+            sup == other_sup and itemset < set(other_items)
+            for other_items, other_sup in support.items()
+        )
+        if is_closed:
+            closed.append(Pattern(items=items, support=sup))
+    closed.sort(key=lambda p: (p.length, p.items))
+    return MiningResult(closed, min_support=min_support, n_rows=len(transactions))

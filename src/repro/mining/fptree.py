@@ -1,0 +1,146 @@
+"""FP-tree: the prefix-tree structure behind FP-growth (Han et al., 2000).
+
+Transactions are inserted with items reordered by descending global
+frequency, so shared prefixes compress the database.  Header-table links
+chain together all nodes carrying the same item, which makes building an
+item's conditional pattern base a single linked-list walk.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["FPNode", "FPTree"]
+
+
+class FPNode:
+    """One node of an FP-tree: an item with a count on a prefix path."""
+
+    __slots__ = ("item", "count", "parent", "children", "link")
+
+    def __init__(self, item: int | None, parent: "FPNode | None") -> None:
+        self.item = item
+        self.count = 0
+        self.parent = parent
+        self.children: dict[int, FPNode] = {}
+        self.link: FPNode | None = None
+
+    def prefix_path(self) -> list[int]:
+        """Items on the path from this node's parent up to the root."""
+        path: list[int] = []
+        node = self.parent
+        while node is not None and node.item is not None:
+            path.append(node.item)
+            node = node.parent
+        path.reverse()
+        return path
+
+
+class FPTree:
+    """An FP-tree with its header table.
+
+    Build with :meth:`from_transactions` (applies the min-support filter and
+    the frequency ordering) or :meth:`from_weighted` (for conditional trees,
+    where each path carries a count).
+    """
+
+    def __init__(self) -> None:
+        self.root = FPNode(item=None, parent=None)
+        self.header: dict[int, FPNode] = {}
+        self.item_counts: dict[int, int] = {}
+        self._item_order: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_transactions(
+        cls, transactions: Sequence[Sequence[int]], min_support: int
+    ) -> "FPTree":
+        counts: dict[int, int] = {}
+        for transaction in transactions:
+            for item in set(transaction):
+                counts[item] = counts.get(item, 0) + 1
+        tree = cls()
+        tree._set_order(counts, min_support)
+        for transaction in transactions:
+            tree.insert(transaction, count=1)
+        return tree
+
+    @classmethod
+    def from_weighted(
+        cls,
+        weighted_paths: Iterable[tuple[Sequence[int], int]],
+        min_support: int,
+    ) -> "FPTree":
+        weighted_paths = list(weighted_paths)
+        counts: dict[int, int] = {}
+        for path, count in weighted_paths:
+            for item in set(path):
+                counts[item] = counts.get(item, 0) + count
+        tree = cls()
+        tree._set_order(counts, min_support)
+        for path, count in weighted_paths:
+            tree.insert(path, count=count)
+        return tree
+
+    # ------------------------------------------------------------------
+    def _set_order(self, counts: dict[int, int], min_support: int) -> None:
+        """Keep items meeting min_support; order by (-count, item)."""
+        self.item_counts = {
+            item: count for item, count in counts.items() if count >= min_support
+        }
+        ordered = sorted(self.item_counts, key=lambda i: (-self.item_counts[i], i))
+        self._item_order = {item: rank for rank, item in enumerate(ordered)}
+
+    def insert(self, transaction: Sequence[int], count: int) -> None:
+        """Insert one transaction (or weighted path), filtered and reordered."""
+        items = sorted(
+            (item for item in set(transaction) if item in self._item_order),
+            key=self._item_order.__getitem__,
+        )
+        node = self.root
+        for item in items:
+            child = node.children.get(item)
+            if child is None:
+                child = FPNode(item=item, parent=node)
+                node.children[item] = child
+                # Prepend to this item's header chain.
+                child.link = self.header.get(item)
+                self.header[item] = child
+            child.count += count
+            node = child
+
+    # ------------------------------------------------------------------
+    def items_ascending(self) -> list[int]:
+        """Items from least to most frequent (FP-growth's mining order)."""
+        return sorted(self.header, key=lambda i: -self._item_order[i])
+
+    def node_chain(self, item: int) -> Iterable[FPNode]:
+        """All tree nodes carrying ``item``, via header links."""
+        node = self.header.get(item)
+        while node is not None:
+            yield node
+            node = node.link
+
+    def conditional_pattern_base(self, item: int) -> list[tuple[list[int], int]]:
+        """(prefix path, count) pairs for every occurrence of ``item``."""
+        base: list[tuple[list[int], int]] = []
+        for node in self.node_chain(item):
+            path = node.prefix_path()
+            if path:
+                base.append((path, node.count))
+        return base
+
+    def is_single_path(self) -> tuple[bool, list[FPNode]]:
+        """Whether the tree is one chain; returns (flag, nodes on the chain)."""
+        nodes: list[FPNode] = []
+        node = self.root
+        while node.children:
+            if len(node.children) > 1:
+                return False, []
+            node = next(iter(node.children.values()))
+            nodes.append(node)
+        return True, nodes
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.root.children

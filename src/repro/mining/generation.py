@@ -1,0 +1,112 @@
+"""Feature generation (framework step 1, paper Section 3).
+
+"The data is partitioned according to the class label.  Frequent patterns
+are discovered in each partition with min_sup.  The collection of frequent
+patterns F is the feature candidates."
+
+Patterns mined per class partition are merged (union of itemsets) and their
+supports are re-counted on the *full* training set, which is what the
+measures and MMRFS need.  Single items are excluded here — the classifier
+feature space is ``I ∪ Fs``, with ``I`` always present — so only patterns of
+length >= 2 are returned by default.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Literal, Sequence
+
+from ..datasets.transactions import TransactionDataset
+from .closed import closed_fpgrowth, occurrence_matrix
+from .fpgrowth import fpgrowth
+from .itemsets import MiningResult, Pattern
+
+__all__ = ["mine_class_patterns", "recount_supports"]
+
+MinerName = Literal["closed", "all"]
+
+_MINERS: dict[str, Callable[..., MiningResult]] = {
+    "closed": closed_fpgrowth,
+    "all": fpgrowth,
+}
+
+
+def recount_supports(
+    itemsets: Sequence[tuple[int, ...]],
+    data: TransactionDataset,
+) -> list[Pattern]:
+    """Support of each itemset over the whole dataset (vectorized)."""
+    if not itemsets:
+        return []
+    matrix = occurrence_matrix(data.transactions, n_items=data.n_items)
+    patterns = []
+    for items in itemsets:
+        if items:
+            support = int(matrix[:, list(items)].all(axis=1).sum())
+        else:
+            support = data.n_rows
+        patterns.append(Pattern(items=items, support=support))
+    return patterns
+
+
+def mine_class_patterns(
+    data: TransactionDataset,
+    min_support: float,
+    miner: MinerName = "closed",
+    min_length: int = 2,
+    max_length: int | None = None,
+    max_patterns: int | None = None,
+) -> MiningResult:
+    """Mine frequent patterns per class partition and merge them.
+
+    Parameters
+    ----------
+    data:
+        The (training) transaction dataset.
+    min_support:
+        *Relative* support threshold theta_0 in (0, 1], applied within each
+        class partition (per the paper's feature-generation step).
+    miner:
+        ``"closed"`` (default, the paper's choice via FPClose) or ``"all"``.
+    min_length:
+        Shortest pattern to keep; default 2 because single items are always
+        part of the classifier's feature space separately.
+    max_length, max_patterns:
+        Optional caps forwarded to the miner (``max_patterns`` applies per
+        partition).
+
+    Returns
+    -------
+    MiningResult
+        Merged patterns with supports counted over the *full* dataset.  The
+        result's ``min_support`` field holds the absolute global count
+        equivalent of theta_0.
+    """
+    if not 0.0 < min_support <= 1.0:
+        raise ValueError("min_support is relative and must be in (0, 1]")
+    mine = _MINERS[miner]
+
+    merged: set[tuple[int, ...]] = set()
+    for _, transactions in sorted(data.class_partition().items()):
+        if not transactions:
+            continue
+        absolute = max(1, int(-(-min_support * len(transactions) // 1)))  # ceil
+        result = mine(
+            transactions,
+            min_support=absolute,
+            max_length=max_length,
+            max_patterns=max_patterns,
+        )
+        merged.update(
+            p.items for p in result.patterns if len(p.items) >= min_length
+        )
+        # The budget bounds the *candidate feature set*, so the merged union
+        # across class partitions must honor it too.
+        if max_patterns is not None and len(merged) > max_patterns:
+            from .itemsets import PatternBudgetExceeded
+
+            raise PatternBudgetExceeded(max_patterns, len(merged))
+
+    patterns = recount_supports(sorted(merged), data)
+    patterns.sort(key=lambda p: (p.length, p.items))
+    global_absolute = max(1, int(round(min_support * data.n_rows)))
+    return MiningResult(patterns, min_support=global_absolute, n_rows=data.n_rows)

@@ -1,0 +1,100 @@
+"""Pattern types shared by all itemset miners.
+
+A *pattern* (the paper's "combined feature", Definition 1) is a set of items
+``alpha = {o_a1 .. o_ak} ⊆ I``.  Internally patterns are canonical sorted
+tuples of item ids; :class:`Pattern` pairs the itemset with its absolute
+support count in the dataset it was mined from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["Pattern", "PatternBudgetExceeded", "canonical", "MiningResult"]
+
+
+def canonical(items: Iterable[int]) -> tuple[int, ...]:
+    """Canonical (sorted, deduplicated) tuple form of an itemset."""
+    return tuple(sorted(set(int(i) for i in items)))
+
+
+class PatternBudgetExceeded(RuntimeError):
+    """Raised when a miner would emit more patterns than its budget allows.
+
+    Used to reproduce the "cannot complete in days" rows of Tables 3-5
+    without actually enumerating millions of patterns: the caller learns the
+    enumeration blew past the budget and reports the run as infeasible.
+    """
+
+    def __init__(self, budget: int, emitted: int | None = None) -> None:
+        self.budget = budget
+        self.emitted = emitted if emitted is not None else budget
+        super().__init__(
+            f"pattern enumeration exceeded the budget of {budget} patterns"
+        )
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """An itemset with its absolute support count.
+
+    ``items`` is always canonical (sorted ascending, no duplicates), so
+    patterns hash and compare by value.
+    """
+
+    items: tuple[int, ...]
+    support: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "items", canonical(self.items))
+        if self.support < 0:
+            raise ValueError("support must be non-negative")
+
+    @property
+    def length(self) -> int:
+        return len(self.items)
+
+    def itemset(self) -> frozenset[int]:
+        return frozenset(self.items)
+
+    def contains(self, other: "Pattern") -> bool:
+        """True if this pattern is a superset of ``other``."""
+        return set(other.items).issubset(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+
+class MiningResult:
+    """Patterns produced by one miner run, with convenience accessors."""
+
+    def __init__(self, patterns: Sequence[Pattern], min_support: int, n_rows: int):
+        self.patterns = list(patterns)
+        self.min_support = int(min_support)
+        self.n_rows = int(n_rows)
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def __iter__(self):
+        return iter(self.patterns)
+
+    def as_dict(self) -> dict[tuple[int, ...], int]:
+        """Mapping itemset -> support."""
+        return {p.items: p.support for p in self.patterns}
+
+    def by_length(self) -> dict[int, list[Pattern]]:
+        grouped: dict[int, list[Pattern]] = {}
+        for pattern in self.patterns:
+            grouped.setdefault(pattern.length, []).append(pattern)
+        return grouped
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MiningResult(patterns={len(self.patterns)}, "
+            f"min_support={self.min_support}, n_rows={self.n_rows})"
+        )

@@ -1,0 +1,121 @@
+"""Maximal frequent itemset mining (the border of the frequent set).
+
+A frequent itemset is *maximal* if none of its proper supersets is
+frequent.  Maximal sets are the most compressed lossy summary of the
+frequent family (closed sets are the lossless one): every frequent itemset
+is a subset of some maximal set, but supports of subsets are not
+recoverable.  Included as a mining substrate because associative
+classifiers sometimes trade the closed set for the (much smaller) maximal
+border when only pattern *presence* matters.
+
+Implementation: depth-first MAFIA-style search over the same boolean
+occurrence matrix the closed miner uses, with a subset check against the
+maximal sets found so far (stored per-length for cheap superset lookups).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .closed import occurrence_matrix
+from .itemsets import MiningResult, Pattern, PatternBudgetExceeded
+
+__all__ = ["maximal_frequent", "brute_force_maximal"]
+
+
+class _MaximalStore:
+    """Maximal candidates with an any-superset-present query."""
+
+    def __init__(self) -> None:
+        self.itemsets: list[frozenset[int]] = []
+
+    def has_superset(self, items: frozenset[int]) -> bool:
+        return any(items <= existing for existing in self.itemsets)
+
+    def add(self, items: frozenset[int]) -> None:
+        # Remove dominated entries (can happen when a longer maximal set is
+        # found after a shorter sibling).
+        self.itemsets = [s for s in self.itemsets if not s <= items]
+        self.itemsets.append(items)
+
+    def __len__(self) -> int:
+        return len(self.itemsets)
+
+
+def maximal_frequent(
+    transactions: Sequence[Sequence[int]],
+    min_support: int,
+    max_length: int | None = None,
+    max_patterns: int | None = None,
+) -> MiningResult:
+    """Mine all maximal frequent itemsets (absolute ``min_support``).
+
+    With ``max_length`` set, maximality is relative to the capped family
+    (an itemset is reported when no frequent *extension within the cap*
+    exists).
+    """
+    if min_support < 1:
+        raise ValueError("min_support is an absolute count and must be >= 1")
+    transactions = [tuple(t) for t in transactions]
+    matrix = occurrence_matrix(transactions)
+    n_rows, n_items = matrix.shape
+
+    counts = matrix.sum(axis=0)
+    frequent_items = [
+        int(i) for i in np.argsort(-counts, kind="stable")
+        if counts[i] >= min_support
+    ]
+    store = _MaximalStore()
+
+    def descend(
+        items: tuple[int, ...], rows: np.ndarray, start: int
+    ) -> None:
+        extendable = False
+        for position in range(start, len(frequent_items)):
+            item = frequent_items[position]
+            new_rows = rows & matrix[:, item]
+            if int(new_rows.sum()) < min_support:
+                continue
+            extendable = True
+            if max_length is not None and len(items) + 1 > max_length:
+                extendable = False
+                break
+            descend(items + (item,), new_rows, position + 1)
+        if items and not extendable:
+            itemset = frozenset(items)
+            if not store.has_superset(itemset):
+                store.add(itemset)
+                if max_patterns is not None and len(store) > max_patterns:
+                    raise PatternBudgetExceeded(max_patterns, len(store))
+
+    if n_rows and frequent_items:
+        descend((), np.ones(n_rows, dtype=bool), 0)
+
+    patterns = []
+    for itemset in store.itemsets:
+        columns = sorted(itemset)
+        support = int(matrix[:, columns].all(axis=1).sum())
+        patterns.append(Pattern(items=tuple(columns), support=support))
+    patterns.sort(key=lambda p: (p.length, p.items))
+    return MiningResult(patterns, min_support=min_support, n_rows=n_rows)
+
+
+def brute_force_maximal(
+    transactions: Sequence[Sequence[int]], min_support: int
+) -> MiningResult:
+    """Reference: filter the full frequent family down to its border."""
+    from .fpgrowth import fpgrowth
+
+    result = fpgrowth(transactions, min_support)
+    frequent = result.as_dict()
+    maximal = []
+    for items, support in frequent.items():
+        itemset = set(items)
+        if not any(
+            itemset < set(other) for other in frequent if len(other) > len(items)
+        ):
+            maximal.append(Pattern(items=items, support=support))
+    maximal.sort(key=lambda p: (p.length, p.items))
+    return MiningResult(maximal, min_support=min_support, n_rows=len(transactions))

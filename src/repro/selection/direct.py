@@ -1,0 +1,203 @@
+"""Direct discriminative pattern mining (DDPMine-style).
+
+The paper's follow-on work (Cheng, Yan, Han & Yu, "Direct Discriminative
+Pattern Mining for Effective Classification", ICDE 2008) removes the
+mine-then-select two-step: instead of enumerating all frequent patterns and
+filtering with MMRFS, it searches for the **single most discriminative
+pattern directly**, pruning the search space with an information-gain upper
+bound, then applies sequential covering and repeats.
+
+This module implements that idea on the substrate of this package:
+
+* a depth-first branch-and-bound search over itemsets (vertical boolean
+  coverage masks, support pruning, length cap);
+* the IG upper bound for supersets: any beta ⊇ alpha covers a subset of
+  alpha's rows, and conditional entropy is minimized by class-pure
+  sub-coverages — so ``max_c IG(pure class-c part of alpha's coverage)``
+  bounds every descendant's IG (exact for the binary case analysed in the
+  2007 paper, and applied per class beyond it);
+* sequential covering: after each winning pattern, rows covered ``delta``
+  times stop contributing to the gain computation.
+
+Compared to mine-all + MMRFS this trades completeness for a much smaller
+search (the ablation bench measures exactly that trade).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets.transactions import TransactionDataset
+from ..measures.information_gain import information_gain_from_counts
+from ..mining.closed import occurrence_matrix
+from ..mining.itemsets import Pattern
+
+__all__ = ["DirectMiningResult", "ig_superset_bound", "ddpmine"]
+
+
+def ig_superset_bound(present: np.ndarray, absent: np.ndarray) -> float:
+    """Upper bound on IG of any pattern covering a subset of these rows.
+
+    ``present``/``absent`` are per-class counts of the current pattern's
+    covered/uncovered rows.  A superset's coverage T satisfies
+    T ⊆ covered; H(C|X) over the choice of T is minimized when T is
+    class-pure, and IG grows with |T| for pure T, so the per-class pure
+    coverages of maximal size dominate every achievable subset.
+    """
+    best = 0.0
+    total = present + absent
+    for class_index in range(len(present)):
+        if present[class_index] == 0:
+            continue
+        pure = np.zeros_like(present)
+        pure[class_index] = present[class_index]
+        bound = information_gain_from_counts(pure, total - pure)
+        best = max(best, bound)
+    return best
+
+
+@dataclass
+class DirectMiningResult:
+    """Patterns found by direct mining, in discovery (covering) order."""
+
+    patterns: list[Pattern]
+    gains: list[float]
+    coverage_counts: np.ndarray
+    nodes_explored: int
+    delta: int
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    @property
+    def fully_covered(self) -> bool:
+        return bool((self.coverage_counts >= self.delta).all())
+
+
+def _best_pattern(
+    matrix: np.ndarray,
+    class_one_hot: np.ndarray,
+    active: np.ndarray,
+    min_count: int,
+    max_length: int,
+    frequent_items: np.ndarray,
+) -> tuple[tuple[int, ...] | None, float, int]:
+    """Branch-and-bound search for the max-IG itemset on the active rows.
+
+    Returns (items, gain, nodes_explored); items is None when nothing beats
+    zero gain.
+    """
+    class_totals = class_one_hot[active].sum(axis=0)
+    n_items = matrix.shape[1]
+    best_items: tuple[int, ...] | None = None
+    best_gain = 1e-12
+    nodes = 0
+
+    def descend(items: tuple[int, ...], rows: np.ndarray, next_index: int) -> None:
+        nonlocal best_items, best_gain, nodes
+        for position in range(next_index, len(frequent_items)):
+            item = int(frequent_items[position])
+            new_rows = rows & matrix[:, item]
+            support = int(new_rows[active].sum())
+            if support < min_count:
+                continue
+            nodes += 1
+            new_items = items + (item,)
+            present = class_one_hot[new_rows & active].sum(axis=0)
+            absent = class_totals - present
+            gain = information_gain_from_counts(present, absent)
+            if gain > best_gain:
+                best_gain = gain
+                best_items = new_items
+            if len(new_items) < max_length:
+                bound = ig_superset_bound(present, absent)
+                if bound > best_gain:
+                    descend(new_items, new_rows, position + 1)
+
+    all_rows = np.ones(matrix.shape[0], dtype=bool)
+    descend((), all_rows, 0)
+    return best_items, float(best_gain), nodes
+
+
+def ddpmine(
+    data: TransactionDataset,
+    min_support: float = 0.05,
+    delta: int = 1,
+    max_length: int = 4,
+    max_patterns: int = 500,
+) -> DirectMiningResult:
+    """Direct discriminative pattern mining with sequential covering.
+
+    Parameters
+    ----------
+    data:
+        Training transactions.
+    min_support:
+        Relative support floor on the *active* (not yet delta-covered)
+        rows — patterns must stay statistically grounded as covering
+        proceeds.
+    delta:
+        Coverage threshold: a row stops driving the search after being
+        covered delta times (it still counts in contingency tables).
+    max_length:
+        Itemset length cap for the branch-and-bound search.
+    max_patterns:
+        Safety cap on the number of covering rounds.
+
+    Returns
+    -------
+    DirectMiningResult
+        Discovered patterns with their gain at discovery time.
+    """
+    if not 0.0 < min_support <= 1.0:
+        raise ValueError("min_support is relative and must be in (0, 1]")
+    if delta < 1:
+        raise ValueError("delta must be >= 1")
+    matrix = occurrence_matrix(data.transactions, n_items=data.n_items)
+    class_one_hot = np.zeros((data.n_rows, data.n_classes), dtype=np.int64)
+    class_one_hot[np.arange(data.n_rows), data.labels] = 1
+
+    item_counts = matrix.sum(axis=0)
+    order = np.argsort(-item_counts, kind="stable")
+    frequent_items = order[item_counts[order] >= 1]
+
+    coverage_counts = np.zeros(data.n_rows, dtype=np.int64)
+    patterns: list[Pattern] = []
+    gains: list[float] = []
+    total_nodes = 0
+
+    while len(patterns) < max_patterns:
+        active = coverage_counts < delta
+        n_active = int(active.sum())
+        if n_active == 0:
+            break
+        min_count = max(1, int(np.ceil(min_support * n_active)))
+        items, gain, nodes = _best_pattern(
+            matrix, class_one_hot, active, min_count, max_length,
+            frequent_items,
+        )
+        total_nodes += nodes
+        if items is None:
+            break
+        covered = matrix[:, list(items)].all(axis=1)
+        support = int(covered.sum())
+        patterns.append(Pattern(items=items, support=support))
+        gains.append(gain)
+        # Sequential covering: only *correctly* covered rows advance, per
+        # the same convention MMRFS uses.
+        present = class_one_hot[covered].sum(axis=0)
+        majority = int(np.argmax(present))
+        correct = covered & (data.labels == majority)
+        if not (correct & active).any():
+            break  # cannot make progress
+        coverage_counts[correct] += 1
+
+    return DirectMiningResult(
+        patterns=patterns,
+        gains=gains,
+        coverage_counts=coverage_counts,
+        nodes_explored=total_nodes,
+        delta=delta,
+    )

@@ -1,0 +1,93 @@
+"""The min_sup setting strategy (paper Section 3.2).
+
+Given an information-gain filtering threshold ``IG0`` — the knob feature
+selection methods already know how to set (Yang & Pedersen [24]) — the
+strategy maps it to a support threshold:
+
+1. compute the theoretical IG upper bound as a function of support theta
+   (needs only the class prior p, no mining);
+2. find ``theta* = argmax_theta { IG_ub(theta) <= IG0 }``;
+3. mine with ``min_sup = theta*`` — no pattern with IG >= IG0 is missed,
+   because IG(theta) <= IG_ub(theta) <= IG_ub(theta*) <= IG0 for all
+   theta <= theta*.
+
+For multiclass data the paper's analysis is binary, so the suggestion is
+computed per class in one-vs-rest form and the *smallest* theta* is used —
+the conservative choice that remains lossless for every class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..measures.bounds import BoundMode, theta_star
+
+__all__ = ["MinSupSuggestion", "suggest_min_support"]
+
+
+@dataclass(frozen=True)
+class MinSupSuggestion:
+    """Outcome of the min_sup strategy.
+
+    Attributes
+    ----------
+    theta:
+        Recommended relative support threshold (the most conservative
+        per-class theta*).
+    absolute:
+        ``ceil(theta * n_rows)`` clamped to >= 1 — the absolute count form.
+    per_class_theta:
+        theta* of each one-vs-rest binarization, indexed by class.
+    ig0:
+        The information-gain threshold the suggestion was derived from.
+    """
+
+    theta: float
+    absolute: int
+    per_class_theta: tuple[float, ...]
+    ig0: float
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MinSupSuggestion(theta={self.theta:.4f}, absolute={self.absolute}, "
+            f"ig0={self.ig0})"
+        )
+
+
+def suggest_min_support(
+    labels: np.ndarray,
+    ig0: float,
+    mode: BoundMode = "paper",
+) -> MinSupSuggestion:
+    """Map an IG filter threshold to a min_sup threshold for a dataset.
+
+    Parameters
+    ----------
+    labels:
+        Training class labels (any number of classes).
+    ig0:
+        The information-gain threshold features must reach to be kept.
+    mode:
+        Bound evaluation mode, forwarded to
+        :func:`repro.measures.bounds.theta_star`.
+    """
+    labels = np.asarray(labels)
+    n = len(labels)
+    if n == 0:
+        raise ValueError("labels must be non-empty")
+    if ig0 < 0:
+        raise ValueError("ig0 must be >= 0")
+    counts = np.bincount(labels)
+    priors = counts[counts > 0] / n
+
+    per_class = tuple(theta_star(ig0, float(p), mode=mode) for p in priors)
+    theta = min(per_class)
+    absolute = max(1, int(np.ceil(theta * n)))
+    return MinSupSuggestion(
+        theta=theta,
+        absolute=absolute,
+        per_class_theta=per_class,
+        ig0=float(ig0),
+    )

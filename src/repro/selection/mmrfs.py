@@ -1,0 +1,239 @@
+"""MMRFS: Maximal-Marginal-Relevance Feature Selection (paper Algorithm 1).
+
+Greedy selection over the mined pattern set F:
+
+1. start from the single most relevant pattern;
+2. repeatedly take the pattern with the highest *gain*
+   ``g(alpha) = S(alpha) - max_{beta in Fs} R(alpha, beta)`` (Eq. 10),
+   accepting it only if it *correctly covers* at least one instance that is
+   not yet covered ``delta`` times;
+3. stop when every instance is covered ``delta`` times or F is exhausted.
+
+"Correctly covers" follows the database-coverage convention of associative
+classification (CMAR): pattern alpha covers instance i if i contains alpha,
+and the cover is *correct* if alpha's majority class equals i's label.
+
+The per-iteration gain update is incremental: selecting beta can only
+*raise* each candidate's max-redundancy, so one vectorized
+``batch_redundancy`` call per iteration maintains all gains exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..datasets.transactions import TransactionDataset
+from ..measures.contingency import PatternStats, batch_pattern_stats
+from ..mining.closed import occurrence_matrix
+from ..mining.itemsets import Pattern
+from .redundancy import batch_redundancy
+from .relevance import RelevanceMeasure, get_relevance
+
+__all__ = ["SelectedFeature", "SelectionResult", "mmrfs", "top_k_by_relevance"]
+
+
+@dataclass(frozen=True)
+class SelectedFeature:
+    """One pattern chosen by MMRFS, with its selection-time diagnostics."""
+
+    pattern: Pattern
+    relevance: float
+    gain: float
+    majority_class: int
+    order: int
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of a feature-selection run."""
+
+    selected: list[SelectedFeature]
+    coverage_counts: np.ndarray
+    delta: int
+    considered: int
+
+    @property
+    def patterns(self) -> list[Pattern]:
+        return [feature.pattern for feature in self.selected]
+
+    @property
+    def fully_covered(self) -> bool:
+        """True if every instance reached the delta coverage target."""
+        return bool((self.coverage_counts >= self.delta).all())
+
+    def __len__(self) -> int:
+        return len(self.selected)
+
+
+def _majority_classes(stats: list[PatternStats]) -> np.ndarray:
+    """Majority class of each pattern among the rows it covers."""
+    return np.array(
+        [int(np.argmax(s.present)) if s.support else 0 for s in stats],
+        dtype=np.int32,
+    )
+
+
+def mmrfs(
+    patterns: list[Pattern],
+    data: TransactionDataset,
+    relevance: str | RelevanceMeasure = "information_gain",
+    delta: int = 1,
+    max_selected: int | None = None,
+) -> SelectionResult:
+    """Run Algorithm 1 over mined patterns.
+
+    Parameters
+    ----------
+    patterns:
+        Candidate frequent patterns F (typically closed, length >= 2).
+    data:
+        The training transactions (used for coverage and contingency).
+    relevance:
+        Relevance measure S: ``"information_gain"``, ``"fisher"``, or any
+        callable on :class:`PatternStats`.
+    delta:
+        Database-coverage threshold: selection stops once every instance is
+        correctly covered ``delta`` times (or candidates run out).
+    max_selected:
+        Optional hard cap on |Fs| (the paper leaves this to delta; the cap
+        exists for ablations and runaway protection).
+
+    Returns
+    -------
+    SelectionResult
+        Selected features in selection order plus coverage diagnostics.
+    """
+    if delta < 1:
+        raise ValueError("delta must be >= 1")
+    score = get_relevance(relevance)
+    if not patterns:
+        return SelectionResult(
+            selected=[],
+            coverage_counts=np.zeros(data.n_rows, dtype=np.int64),
+            delta=delta,
+            considered=0,
+        )
+
+    stats = batch_pattern_stats(patterns, data)
+    relevances = np.array([score(s) for s in stats], dtype=float)
+    supports = np.array([s.support for s in stats], dtype=np.int64)
+    majority = _majority_classes(stats)
+
+    matrix = occurrence_matrix(data.transactions, n_items=data.n_items)
+    coverage = np.stack(
+        [
+            matrix[:, list(p.items)].all(axis=1)
+            if p.items
+            else np.ones(data.n_rows, dtype=bool)
+            for p in patterns
+        ]
+    )
+    # correct_coverage[k, i]: pattern k covers row i and predicts its label.
+    correct_coverage = coverage & (majority[:, np.newaxis] == data.labels)
+
+    n_rows = data.n_rows
+    coverage_counts = np.zeros(n_rows, dtype=np.int64)
+    max_redundancy = np.zeros(len(patterns), dtype=float)
+    available = np.ones(len(patterns), dtype=bool)
+    selected: list[SelectedFeature] = []
+
+    def select(index: int, gain: float) -> None:
+        available[index] = False
+        coverage_counts[correct_coverage[index]] += 1
+        selected.append(
+            SelectedFeature(
+                pattern=patterns[index],
+                relevance=float(relevances[index]),
+                gain=float(gain),
+                majority_class=int(majority[index]),
+                order=len(selected),
+            )
+        )
+        # Update every candidate's max-redundancy in one vectorized pass
+        # (unavailable rows are masked at argmax time, so updating them too
+        # is cheaper than slicing the coverage matrix).
+        np.maximum(
+            max_redundancy,
+            batch_redundancy(
+                coverage,
+                supports,
+                relevances,
+                coverage[index],
+                int(supports[index]),
+                float(relevances[index]),
+            ),
+            out=max_redundancy,
+        )
+
+    # Line 1-2: seed with the most relevant pattern.
+    first = int(np.argmax(relevances))
+    select(first, gain=float(relevances[first]))
+
+    while True:
+        if max_selected is not None and len(selected) >= max_selected:
+            break
+        if (coverage_counts >= delta).all():
+            break
+        if not available.any():
+            break
+        gains = np.where(available, relevances - max_redundancy, -np.inf)
+        best = int(np.argmax(gains))
+        if not np.isfinite(gains[best]):
+            break
+        # Line 5: accept only if it correctly covers an under-covered row.
+        useful = correct_coverage[best] & (coverage_counts < delta)
+        if useful.any():
+            select(best, gain=float(gains[best]))
+        else:
+            available[best] = False  # discard: cannot advance coverage
+
+    return SelectionResult(
+        selected=selected,
+        coverage_counts=coverage_counts,
+        delta=delta,
+        considered=len(patterns),
+    )
+
+
+def top_k_by_relevance(
+    patterns: list[Pattern],
+    data: TransactionDataset,
+    k: int,
+    relevance: str | RelevanceMeasure = "information_gain",
+) -> SelectionResult:
+    """Ablation baseline: pick the k most relevant patterns, no redundancy.
+
+    This is "MMRFS without the MMR part" — used to quantify how much the
+    redundancy term and the coverage stopping rule contribute.
+    """
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    score = get_relevance(relevance)
+    stats = batch_pattern_stats(patterns, data)
+    relevances = np.array([score(s) for s in stats], dtype=float)
+    majority = _majority_classes(stats)
+    order = np.argsort(-relevances, kind="stable")[:k]
+
+    coverage_counts = np.zeros(data.n_rows, dtype=np.int64)
+    selected = []
+    for rank, index in enumerate(order):
+        index = int(index)
+        mask = data.covers(patterns[index].items)
+        coverage_counts[mask & (data.labels == majority[index])] += 1
+        selected.append(
+            SelectedFeature(
+                pattern=patterns[index],
+                relevance=float(relevances[index]),
+                gain=float(relevances[index]),
+                majority_class=int(majority[index]),
+                order=rank,
+            )
+        )
+    return SelectionResult(
+        selected=selected,
+        coverage_counts=coverage_counts,
+        delta=0,
+        considered=len(patterns),
+    )

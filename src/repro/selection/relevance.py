@@ -1,0 +1,102 @@
+"""Relevance measures S for feature selection (paper Definition 3).
+
+A relevance measure maps a pattern's contingency statistics to a real value
+modelling its discriminative power w.r.t. the class label.  The paper names
+information gain and Fisher score as the two instances; both are provided
+plus a registry for lookup by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from ..measures.contingency import PatternStats
+from ..measures.fisher import fisher_score
+from ..measures.information_gain import information_gain
+
+__all__ = [
+    "RelevanceMeasure",
+    "InformationGainRelevance",
+    "FisherScoreRelevance",
+    "ChiSquareRelevance",
+    "get_relevance",
+]
+
+
+class RelevanceMeasure(Protocol):
+    """Callable scoring a pattern's contingency statistics."""
+
+    def __call__(self, stats: PatternStats) -> float: ...
+
+
+class InformationGainRelevance:
+    """S(alpha) = IG(C | alpha-presence)."""
+
+    name = "information_gain"
+
+    def __call__(self, stats: PatternStats) -> float:
+        return information_gain(stats)
+
+
+class FisherScoreRelevance:
+    """S(alpha) = Fisher score of alpha-presence.
+
+    Unbounded scores (perfect class alignment) are capped so the MMR gain
+    arithmetic stays finite.
+    """
+
+    name = "fisher"
+
+    def __init__(self, cap: float = 1e6) -> None:
+        self.cap = cap
+
+    def __call__(self, stats: PatternStats) -> float:
+        return min(self.cap, fisher_score(stats))
+
+
+class ChiSquareRelevance:
+    """S(alpha) = normalized chi-square of alpha-presence vs the class.
+
+    The measure CMAR ranks rules by, normalized by n so values are
+    comparable across datasets (it equals the phi-squared / Cramer-like
+    association strength for the 2 x m table).
+    """
+
+    name = "chi2"
+
+    def __call__(self, stats: PatternStats) -> float:
+        import numpy as np
+
+        observed = np.array([stats.present, stats.absent], dtype=float)
+        n = observed.sum()
+        if n == 0:
+            return 0.0
+        row_totals = observed.sum(axis=1, keepdims=True)
+        column_totals = observed.sum(axis=0, keepdims=True)
+        expected = row_totals @ column_totals / n
+        with np.errstate(divide="ignore", invalid="ignore"):
+            terms = np.where(
+                expected > 0, (observed - expected) ** 2 / expected, 0.0
+            )
+        return float(terms.sum() / n)
+
+
+_REGISTRY: dict[str, Callable[[], RelevanceMeasure]] = {
+    "information_gain": InformationGainRelevance,
+    "ig": InformationGainRelevance,
+    "fisher": FisherScoreRelevance,
+    "chi2": ChiSquareRelevance,
+}
+
+
+def get_relevance(name: str | RelevanceMeasure) -> RelevanceMeasure:
+    """Resolve a relevance measure by name, or pass one through."""
+    if callable(name) and not isinstance(name, str):
+        return name
+    try:
+        return _REGISTRY[str(name)]()
+    except KeyError:
+        raise KeyError(
+            f"unknown relevance measure {name!r}; "
+            f"available: {', '.join(sorted(set(_REGISTRY)))}"
+        ) from None

@@ -1,0 +1,90 @@
+"""Shared fixtures: small deterministic datasets for fast unit tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    Attribute,
+    Dataset,
+    SyntheticSpec,
+    TransactionDataset,
+    generate,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> Dataset:
+    """A hand-written 8-row categorical dataset (weather-style)."""
+    return Dataset.from_values(
+        name="tiny",
+        attribute_names=["outlook", "humidity", "windy"],
+        value_rows=[
+            ("sunny", "high", "no"),
+            ("sunny", "high", "yes"),
+            ("overcast", "high", "no"),
+            ("rain", "normal", "no"),
+            ("rain", "normal", "yes"),
+            ("overcast", "normal", "yes"),
+            ("sunny", "normal", "no"),
+            ("rain", "high", "yes"),
+        ],
+        labels=["no", "no", "yes", "yes", "no", "yes", "yes", "no"],
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_transactions(tiny_dataset) -> TransactionDataset:
+    return TransactionDataset.from_dataset(tiny_dataset)
+
+
+@pytest.fixture(scope="session")
+def planted_spec() -> SyntheticSpec:
+    """A small planted dataset spec used across mining/selection tests."""
+    return SyntheticSpec(
+        name="planted",
+        n_rows=300,
+        n_attributes=8,
+        n_classes=2,
+        arity=3,
+        pattern_attributes=3,
+        combos_per_class=2,
+        pattern_strength=0.9,
+        single_attributes=1,
+        single_strength=0.3,
+        attribute_noise=0.02,
+        label_noise=0.01,
+        seed=42,
+    )
+
+
+@pytest.fixture(scope="session")
+def planted_dataset(planted_spec) -> Dataset:
+    result = generate(planted_spec)
+    assert isinstance(result, Dataset)
+    return result
+
+
+@pytest.fixture(scope="session")
+def planted_transactions(planted_dataset) -> TransactionDataset:
+    return TransactionDataset.from_dataset(planted_dataset)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(7)
+
+
+def random_transactions(
+    rng: np.random.Generator,
+    n_rows: int = 40,
+    n_items: int = 10,
+    density: float = 0.4,
+) -> list[tuple[int, ...]]:
+    """Random transaction lists for property tests (module-level helper)."""
+    transactions = []
+    for _ in range(n_rows):
+        mask = rng.random(n_items) < density
+        transactions.append(tuple(int(i) for i in np.where(mask)[0]))
+    return transactions

@@ -1,0 +1,74 @@
+"""Tests for the shared classifier base utilities."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers import Classifier, LinearSVM, validate_inputs
+
+
+class TestValidateInputs:
+    def test_coerces_types(self):
+        features, labels = validate_inputs([[1, 0], [0, 1]], [0, 1])
+        assert features.dtype == np.float64
+        assert labels.dtype == np.int32
+
+    def test_features_only(self):
+        features, labels = validate_inputs(np.zeros((2, 2)))
+        assert labels is None
+
+    def test_rejects_1d_features(self):
+        with pytest.raises(ValueError, match="2-D"):
+            validate_inputs(np.zeros(3), np.zeros(3, dtype=int))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            validate_inputs(np.array([[np.nan]]), np.array([0]))
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="NaN or infinity"):
+            validate_inputs(np.array([[np.inf]]), np.array([0]))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="labels"):
+            validate_inputs(np.zeros((3, 1)), np.array([0, 1]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            validate_inputs(np.zeros((0, 2)), np.zeros(0, dtype=int))
+
+    def test_rejects_negative_labels(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            validate_inputs(np.zeros((2, 1)), np.array([0, -1]))
+
+    def test_rejects_2d_labels(self):
+        with pytest.raises(ValueError, match="1-D"):
+            validate_inputs(np.zeros((2, 1)), np.zeros((2, 1), dtype=int))
+
+
+class TestCloneProtocol:
+    def test_clone_without_params_raises(self):
+        class Bare(Classifier):
+            def fit(self, features, labels):
+                return self
+
+            def predict(self, features):
+                return np.zeros(len(features), dtype=np.int32)
+
+        with pytest.raises(NotImplementedError, match="_params"):
+            Bare().clone()
+
+    def test_clone_is_unfitted(self, rng):
+        features = rng.normal(size=(20, 2))
+        labels = rng.integers(0, 2, 20)
+        model = LinearSVM().fit(features, labels)
+        clone = model.clone()
+        assert not clone._fitted
+        with pytest.raises(RuntimeError):
+            clone.predict(features)
+
+    def test_score_uses_predict(self, rng):
+        features = rng.normal(size=(30, 2))
+        labels = (features[:, 0] > 0).astype(int)
+        model = LinearSVM(c=10.0).fit(features, labels)
+        manual = float((model.predict(features) == labels).mean())
+        assert model.score(features, labels) == manual

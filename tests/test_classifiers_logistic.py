@@ -1,0 +1,83 @@
+"""Tests for the logistic regression classifier."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers import LinearSVM, LogisticRegression
+
+
+class TestBinary:
+    def test_separable(self, rng):
+        features = rng.normal(size=(200, 4))
+        weights = rng.normal(size=4)
+        labels = (features @ weights > 0).astype(int)
+        model = LogisticRegression().fit(features, labels)
+        assert model.score(features, labels) > 0.95
+
+    def test_probabilities_normalized(self, rng):
+        features = rng.normal(size=(50, 3))
+        labels = rng.integers(0, 2, 50)
+        model = LogisticRegression().fit(features, labels)
+        probabilities = model.predict_proba(features)
+        assert probabilities.shape == (50, 2)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+        assert (probabilities >= 0).all()
+
+    def test_probability_calibration_direction(self, rng):
+        """Points deep on one side get more confident predictions."""
+        features = np.array([[5.0], [0.1], [-5.0]])
+        train = rng.normal(size=(300, 1))
+        labels = (train[:, 0] > 0).astype(int)
+        model = LogisticRegression().fit(train, labels)
+        probabilities = model.predict_proba(features)[:, 1]
+        assert probabilities[0] > probabilities[1] > probabilities[2]
+
+    def test_regularization_shrinks_weights(self, rng):
+        features = rng.normal(size=(100, 3))
+        labels = (features[:, 0] > 0).astype(int)
+        weak = LogisticRegression(l2=1e-4).fit(features, labels)
+        strong = LogisticRegression(l2=10.0).fit(features, labels)
+        assert np.abs(strong.weights_).sum() < np.abs(weak.weights_).sum()
+
+
+class TestMulticlass:
+    def test_three_clusters(self, rng):
+        centers = np.array([[4, 0], [0, 4], [-4, -4]])
+        features = np.vstack([rng.normal(size=(40, 2)) + c for c in centers])
+        labels = np.repeat([0, 1, 2], 40)
+        model = LogisticRegression().fit(features, labels)
+        assert model.score(features, labels) > 0.95
+
+    def test_agrees_with_svm_on_easy_data(self, rng):
+        features = rng.normal(size=(150, 4))
+        labels = (features[:, 0] + features[:, 1] > 0).astype(int)
+        logistic = LogisticRegression().fit(features, labels)
+        svm = LinearSVM().fit(features, labels)
+        agreement = (logistic.predict(features) == svm.predict(features)).mean()
+        assert agreement > 0.9
+
+
+class TestEdges:
+    def test_single_class(self):
+        model = LogisticRegression().fit(np.zeros((5, 2)), np.full(5, 2))
+        assert (model.predict(np.zeros((3, 2))) == 2).all()
+
+    def test_unfitted(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict(np.zeros((1, 1)))
+
+    def test_negative_l2_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(l2=-1.0)
+
+    def test_clone(self):
+        assert LogisticRegression(l2=0.5).clone().l2 == 0.5
+
+    def test_in_pipeline(self, planted_transactions):
+        from repro.features import FrequentPatternClassifier
+
+        model = FrequentPatternClassifier(
+            min_support=0.25, classifier=LogisticRegression()
+        )
+        model.fit(planted_transactions)
+        assert model.score(planted_transactions) > 0.6

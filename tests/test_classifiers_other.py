@@ -1,0 +1,86 @@
+"""Tests for naive Bayes and kNN (the model-agnosticism extras)."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers import BernoulliNaiveBayes, KNearestNeighbors
+
+
+class TestNaiveBayes:
+    def test_learns_skewed_features(self, rng):
+        n = 400
+        labels = rng.integers(0, 2, n)
+        features = rng.random((n, 5))
+        features[:, 0] = (rng.random(n) < np.where(labels == 1, 0.9, 0.1))
+        features[:, 1] = (rng.random(n) < np.where(labels == 1, 0.2, 0.8))
+        model = BernoulliNaiveBayes().fit(features, labels)
+        assert model.score(features, labels) > 0.85
+
+    def test_prior_dominates_with_no_signal(self, rng):
+        labels = np.array([0] * 90 + [1] * 10)
+        features = np.zeros((100, 3))
+        model = BernoulliNaiveBayes().fit(features, labels)
+        assert (model.predict(features) == 0).all()
+
+    def test_log_proba_shape_and_order(self, rng):
+        features = rng.integers(0, 2, size=(30, 4)).astype(float)
+        labels = rng.integers(0, 3, 30)
+        model = BernoulliNaiveBayes().fit(features, labels)
+        scores = model.predict_log_proba(features)
+        assert scores.shape == (30, len(model.classes_))
+        assert (model.classes_[np.argmax(scores, axis=1)] == model.predict(features)).all()
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            BernoulliNaiveBayes(alpha=0.0)
+
+    def test_clone(self):
+        assert BernoulliNaiveBayes(alpha=2.0).clone().alpha == 2.0
+
+    def test_smoothing_avoids_zero_probability(self):
+        features = np.array([[1.0], [1.0], [0.0]])
+        labels = np.array([1, 1, 0])
+        model = BernoulliNaiveBayes().fit(features, labels)
+        scores = model.predict_log_proba(np.array([[1.0]]))
+        assert np.isfinite(scores).all()
+
+
+class TestKNN:
+    def test_memorizes_training_data_k1(self, rng):
+        features = rng.normal(size=(50, 3))
+        labels = rng.integers(0, 3, 50)
+        model = KNearestNeighbors(k=1).fit(features, labels)
+        assert model.score(features, labels) == 1.0
+
+    def test_majority_vote_smooths_noise(self, rng):
+        centers = np.array([[3, 3], [-3, -3]])
+        features = np.vstack([rng.normal(size=(50, 2)) + c for c in centers])
+        labels = np.repeat([0, 1], 50)
+        model = KNearestNeighbors(k=7).fit(features, labels)
+        assert model.score(features, labels) > 0.95
+
+    def test_k_larger_than_train_set(self, rng):
+        features = rng.normal(size=(5, 2))
+        labels = np.array([0, 0, 0, 1, 1])
+        model = KNearestNeighbors(k=50).fit(features, labels)
+        # degrades to the majority class
+        assert (model.predict(features) == 0).all()
+
+    def test_tie_break_toward_frequent_class(self):
+        features = np.array([[0.0], [1.0], [2.0], [3.0]])
+        labels = np.array([0, 0, 0, 1])
+        model = KNearestNeighbors(k=2).fit(features, labels)
+        # Query equidistant-ish: neighbours {2.0:0, 3.0:1} tie -> class 0.
+        assert model.predict(np.array([[2.5]]))[0] == 0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KNearestNeighbors(k=0)
+
+    def test_hamming_equivalence_on_binary(self, rng):
+        """Squared Euclidean == Hamming on 0/1 vectors."""
+        a = rng.integers(0, 2, size=(1, 6)).astype(float)
+        b = rng.integers(0, 2, size=(1, 6)).astype(float)
+        squared = ((a - b) ** 2).sum()
+        hamming = (a != b).sum()
+        assert squared == hamming

@@ -1,0 +1,132 @@
+"""Tests for the C4.5-style decision tree."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers import DecisionTree
+from repro.classifiers.decision_tree import (
+    _pessimistic_errors,
+    _z_from_confidence,
+)
+
+
+def _conjunction_data(rng, n=200, d=6):
+    """y = x0 AND x2 over binary features."""
+    features = rng.integers(0, 2, size=(n, d)).astype(float)
+    labels = ((features[:, 0] == 1) & (features[:, 2] == 1)).astype(int)
+    return features, labels
+
+
+class TestSplitSelection:
+    def test_fits_conjunction_exactly(self, rng):
+        features, labels = _conjunction_data(rng)
+        tree = DecisionTree(confidence=None).fit(features, labels)
+        assert tree.score(features, labels) == 1.0
+
+    def test_xor_needs_depth_two(self, rng):
+        features = rng.integers(0, 2, size=(200, 2)).astype(float)
+        labels = (features[:, 0] != features[:, 1]).astype(int)
+        tree = DecisionTree(confidence=None).fit(features, labels)
+        assert tree.score(features, labels) == 1.0
+        assert tree.root_.depth() >= 2
+
+    def test_max_depth_respected(self, rng):
+        features, labels = _conjunction_data(rng)
+        tree = DecisionTree(max_depth=1, confidence=None).fit(features, labels)
+        assert tree.root_.depth() <= 1
+
+    def test_min_samples_leaf(self, rng):
+        features, labels = _conjunction_data(rng, n=40)
+        tree = DecisionTree(min_samples_leaf=10, confidence=None).fit(
+            features, labels
+        )
+
+        def check(node):
+            if node.is_leaf:
+                assert node.counts.sum() >= 10 or node is tree.root_
+            else:
+                check(node.left)
+                check(node.right)
+
+        check(tree.root_)
+
+    def test_continuous_threshold_split(self, rng):
+        values = np.concatenate([rng.normal(-3, 1, 100), rng.normal(3, 1, 100)])
+        features = values[:, np.newaxis]
+        labels = (values > 0).astype(int)
+        tree = DecisionTree().fit(features, labels)
+        assert tree.score(features, labels) > 0.97
+
+    def test_pure_node_is_leaf(self):
+        features = np.array([[0.0], [1.0], [0.0]])
+        labels = np.array([1, 1, 1])
+        tree = DecisionTree().fit(features, labels)
+        assert tree.root_.is_leaf
+        assert (tree.predict(features) == 1).all()
+
+    def test_gain_ratio_vs_plain_gain_flag(self, rng):
+        features, labels = _conjunction_data(rng)
+        ratio_tree = DecisionTree(use_gain_ratio=True).fit(features, labels)
+        gain_tree = DecisionTree(use_gain_ratio=False).fit(features, labels)
+        assert ratio_tree.score(features, labels) > 0.9
+        assert gain_tree.score(features, labels) > 0.9
+
+
+class TestPruning:
+    def test_pruning_shrinks_noisy_tree(self, rng):
+        features = rng.integers(0, 2, size=(300, 8)).astype(float)
+        labels = (features[:, 0] == 1).astype(int)
+        noisy = labels.copy()
+        flip = rng.random(300) < 0.15
+        noisy[flip] = 1 - noisy[flip]
+        unpruned = DecisionTree(confidence=None).fit(features, noisy)
+        pruned = DecisionTree(confidence=0.25).fit(features, noisy)
+        assert pruned.n_nodes < unpruned.n_nodes
+
+    def test_pruning_keeps_signal(self, rng):
+        features, labels = _conjunction_data(rng, n=400)
+        pruned = DecisionTree(confidence=0.25).fit(features, labels)
+        assert pruned.score(features, labels) > 0.97
+
+    def test_pessimistic_error_monotone_in_errors(self):
+        z = _z_from_confidence(0.25)
+        low = _pessimistic_errors(1, 20, z)
+        high = _pessimistic_errors(5, 20, z)
+        assert high > low
+
+    def test_pessimistic_error_exceeds_observed(self):
+        z = _z_from_confidence(0.25)
+        assert _pessimistic_errors(3, 20, z) > 3.0
+
+    def test_z_quantile_sane(self):
+        # CF = 0.25 -> one-sided z ~ 0.674.
+        assert _z_from_confidence(0.25) == pytest.approx(0.6745, abs=0.01)
+        assert _z_from_confidence(0.05) == pytest.approx(1.6449, abs=0.01)
+
+
+class TestValidationAndEdges:
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTree().predict(np.zeros((1, 1)))
+
+    def test_bad_min_samples(self):
+        with pytest.raises(ValueError):
+            DecisionTree(min_samples_split=1)
+        with pytest.raises(ValueError):
+            DecisionTree(min_samples_leaf=0)
+
+    def test_clone(self):
+        tree = DecisionTree(max_depth=3)
+        clone = tree.clone()
+        assert clone.max_depth == 3
+        assert clone is not tree
+
+    def test_nan_features_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTree().fit(np.array([[np.nan]]), np.array([0]))
+
+    def test_multiclass(self, rng):
+        features = rng.integers(0, 3, size=(300, 4)).astype(float)
+        labels = features[:, 0].astype(int)
+        tree = DecisionTree().fit(features, labels)
+        assert tree.score(features, labels) > 0.97

@@ -1,0 +1,80 @@
+"""Tests for the public API surface (repro and repro.core)."""
+
+import importlib
+
+import pytest
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_core_names_resolve(self):
+        core = importlib.import_module("repro.core")
+        for name in core.__all__:
+            assert hasattr(core, name), name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_core_reexports_are_same_objects(self):
+        import repro
+        from repro import core
+
+        assert core.FrequentPatternClassifier is repro.FrequentPatternClassifier
+        assert core.theta_star is repro.theta_star
+        assert core.mmrfs is repro.mmrfs
+
+    def test_subpackages_importable(self):
+        for package in (
+            "repro.datasets",
+            "repro.discretize",
+            "repro.mining",
+            "repro.measures",
+            "repro.selection",
+            "repro.features",
+            "repro.classifiers",
+            "repro.baselines",
+            "repro.eval",
+            "repro.experiments",
+        ):
+            module = importlib.import_module(package)
+            assert hasattr(module, "__all__")
+            for name in module.__all__:
+                assert hasattr(module, name), f"{package}.{name}"
+
+
+class TestEndToEndDeterminism:
+    def test_same_seed_same_predictions(self):
+        from repro import (
+            FrequentPatternClassifier,
+            LinearSVM,
+            TransactionDataset,
+            load_uci,
+        )
+
+        data = TransactionDataset.from_dataset(load_uci("iris"))
+
+        def run():
+            model = FrequentPatternClassifier(
+                min_support=0.15, classifier=LinearSVM(seed=0)
+            )
+            model.fit(data)
+            return model.predict(data)
+
+        first = run()
+        second = run()
+        assert (first == second).all()
+
+    def test_pattern_order_stable(self):
+        from repro import TransactionDataset, load_uci, mine_class_patterns
+
+        data = TransactionDataset.from_dataset(load_uci("iris"))
+        a = mine_class_patterns(data, min_support=0.2)
+        b = mine_class_patterns(data, min_support=0.2)
+        assert [p.items for p in a] == [p.items for p in b]

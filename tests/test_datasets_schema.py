@@ -1,0 +1,85 @@
+"""Unit tests for repro.datasets.schema."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Attribute, Dataset
+
+
+class TestAttribute:
+    def test_arity_and_index(self):
+        attribute = Attribute("color", ("red", "green", "blue"))
+        assert attribute.arity == 3
+        assert attribute.index_of("green") == 1
+
+    def test_unknown_value_raises(self):
+        attribute = Attribute("color", ("red",))
+        with pytest.raises(ValueError, match="not in domain"):
+            attribute.index_of("purple")
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError, match="empty domain"):
+            Attribute("x", ())
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Attribute("x", ("a", "a"))
+
+
+class TestDatasetConstruction:
+    def test_from_values_infers_domains(self, tiny_dataset):
+        assert tiny_dataset.n_rows == 8
+        assert tiny_dataset.n_attributes == 3
+        assert tiny_dataset.n_classes == 2
+        outlook = tiny_dataset.attributes[0]
+        assert set(outlook.values) == {"sunny", "overcast", "rain"}
+
+    def test_n_items_sums_arities(self, tiny_dataset):
+        assert tiny_dataset.n_items == 3 + 2 + 2
+
+    def test_class_counts_and_priors(self, tiny_dataset):
+        counts = tiny_dataset.class_counts()
+        assert counts.sum() == 8
+        priors = tiny_dataset.class_priors()
+        assert priors.sum() == pytest.approx(1.0)
+
+    def test_row_label_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="labels"):
+            Dataset(
+                name="bad",
+                attributes=[Attribute("a", ("x", "y"))],
+                rows=np.array([[0], [1]]),
+                labels=np.array([0]),
+            )
+
+    def test_out_of_domain_value_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            Dataset(
+                name="bad",
+                attributes=[Attribute("a", ("x", "y"))],
+                rows=np.array([[5]]),
+                labels=np.array([0]),
+            )
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError, match="one value per attribute"):
+            Dataset.from_values(
+                "bad", ["a", "b"], [("x",)], ["c0"]
+            )
+
+
+class TestDatasetSubset:
+    def test_subset_preserves_schema(self, tiny_dataset):
+        subset = tiny_dataset.subset([0, 2, 4])
+        assert subset.n_rows == 3
+        assert subset.attributes is tiny_dataset.attributes
+        assert subset.class_names == tiny_dataset.class_names
+        assert subset.n_items == tiny_dataset.n_items
+
+    def test_subset_rows_match(self, tiny_dataset):
+        subset = tiny_dataset.subset([1, 3])
+        assert (subset.rows[0] == tiny_dataset.rows[1]).all()
+        assert subset.labels[1] == tiny_dataset.labels[3]
+
+    def test_len(self, tiny_dataset):
+        assert len(tiny_dataset) == tiny_dataset.n_rows

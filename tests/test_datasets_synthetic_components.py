@@ -1,0 +1,146 @@
+"""Tests for the generator's structural components (cliques, bias, singles).
+
+Each planted component maps to a paper claim (DESIGN.md §4); these tests
+verify the components actually produce the statistical structure they
+promise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    Dataset,
+    SyntheticSpec,
+    TransactionDataset,
+    generate,
+)
+
+
+def _spec(**overrides) -> SyntheticSpec:
+    defaults = dict(
+        name="component-test",
+        n_rows=2000,
+        n_attributes=12,
+        n_classes=2,
+        arity=3,
+        pattern_attributes=3,
+        combos_per_class=2,
+        single_attributes=2,
+        seed=77,
+    )
+    defaults.update(overrides)
+    return SyntheticSpec(**defaults)
+
+
+class TestNoiseCliques:
+    def test_clique_attributes_disjoint_from_signal(self):
+        spec = _spec(noise_cliques=2, clique_size=3)
+        _, structure = generate(spec, return_structure=True)
+        clique_attrs = {a for clique in structure.cliques for a in clique}
+        assert not clique_attrs & set(structure.signal_attributes)
+        assert not clique_attrs & {a for a, _ in structure.single_preferences}
+
+    def test_clique_members_correlate(self):
+        spec = _spec(noise_cliques=1, clique_size=3, clique_noise=0.1)
+        dataset, structure = generate(spec, return_structure=True)
+        a, b, c = structure.cliques[0]
+        agreement = (dataset.rows[:, a] == dataset.rows[:, b]).mean()
+        # Two clique members agree when neither was corrupted (~0.81) plus
+        # chance agreement; far above the uniform baseline of 1/3.
+        assert agreement > 0.6
+
+    def test_cliques_class_independent(self):
+        spec = _spec(noise_cliques=1, clique_size=3, clique_noise=0.0)
+        dataset, structure = generate(spec, return_structure=True)
+        a = structure.cliques[0][0]
+        # Value distribution of a clique attribute is similar across classes.
+        for value in range(spec.arity):
+            rates = [
+                (dataset.rows[dataset.labels == c, a] == value).mean()
+                for c in range(spec.n_classes)
+            ]
+            assert abs(rates[0] - rates[1]) < 0.08
+
+    def test_cliques_inflate_pattern_counts(self):
+        from repro.mining import mine_class_patterns
+
+        plain = TransactionDataset.from_dataset(
+            generate(_spec(noise_cliques=0))
+        )
+        cliqued = TransactionDataset.from_dataset(
+            generate(_spec(noise_cliques=2, clique_size=3))
+        )
+        n_plain = len(mine_class_patterns(plain, min_support=0.2, max_length=3))
+        n_cliqued = len(
+            mine_class_patterns(cliqued, min_support=0.2, max_length=3)
+        )
+        assert n_cliqued > n_plain
+
+    def test_too_many_cliques_rejected(self):
+        with pytest.raises(ValueError, match="cannot exceed"):
+            _spec(noise_cliques=4, clique_size=3)
+
+    def test_clique_size_validation(self):
+        with pytest.raises(ValueError, match="clique_size"):
+            _spec(noise_cliques=1, clique_size=1)
+
+
+class TestValueBias:
+    def test_dominant_values_emerge(self):
+        spec = _spec(value_bias=(0.85, 0.95), pattern_strength=0.0,
+                     single_strength=0.0)
+        dataset = generate(spec)
+        assert isinstance(dataset, Dataset)
+        for j in range(spec.n_attributes):
+            top_rate = max(
+                (dataset.rows[:, j] == v).mean() for v in range(spec.arity)
+            )
+            assert top_rate > 0.8
+
+    def test_bias_range_validation(self):
+        with pytest.raises(ValueError, match="value_bias"):
+            _spec(value_bias=(0.9, 0.5))
+
+    def test_bias_creates_high_support_patterns(self):
+        from repro.mining import closed_fpgrowth
+
+        spec = _spec(value_bias=(0.9, 0.95), n_rows=400)
+        data = TransactionDataset.from_dataset(generate(spec))
+        threshold = int(0.7 * data.n_rows)
+        result = closed_fpgrowth(data.transactions, threshold, max_length=3)
+        assert any(p.length >= 2 for p in result), (
+            "dominant-value combinations must be frequent at 70% support"
+        )
+
+    def test_no_bias_no_high_support_pairs(self):
+        from repro.mining import closed_fpgrowth
+
+        spec = _spec(value_bias=None, pattern_strength=0.0, n_rows=400,
+                     single_strength=0.0)
+        data = TransactionDataset.from_dataset(generate(spec))
+        threshold = int(0.7 * data.n_rows)
+        result = closed_fpgrowth(data.transactions, threshold, max_length=3)
+        assert all(p.length < 2 for p in result)
+
+
+class TestSingleCodewords:
+    def test_distinct_codewords_when_space_allows(self):
+        spec = _spec(n_classes=4, single_attributes=4, arity=3,
+                     pattern_attributes=3, combos_per_class=2)
+        _, structure = generate(spec, return_structure=True)
+        codewords = set()
+        n_singles = len(structure.single_preferences)
+        for c in range(spec.n_classes):
+            codewords.add(
+                tuple(prefs[c] for _, prefs in structure.single_preferences)
+            )
+        assert len(codewords) == spec.n_classes
+
+    def test_single_strength_skews_values(self):
+        spec = _spec(single_attributes=2, single_strength=0.8)
+        dataset, structure = generate(spec, return_structure=True)
+        attribute, preferences = structure.single_preferences[0]
+        for c in range(spec.n_classes):
+            class_rows = dataset.rows[dataset.labels == c, attribute]
+            rate = (class_rows == preferences[c]).mean()
+            assert rate > 0.6  # 0.8 + background, minus label noise

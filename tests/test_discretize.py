@@ -1,0 +1,138 @@
+"""Tests for the discretization substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.discretize import (
+    MDLP,
+    EqualFrequency,
+    EqualWidth,
+    apply_cuts,
+    discretize_table,
+)
+
+
+class TestApplyCuts:
+    def test_no_cuts_single_bin(self):
+        binned = apply_cuts(np.array([1.0, 5.0, 9.0]), [])
+        assert (binned == 0).all()
+
+    def test_boundary_goes_left(self):
+        # left-open, right-closed: value == cut falls in the left bin
+        binned = apply_cuts(np.array([1.0, 2.0, 3.0]), [2.0])
+        assert binned.tolist() == [0, 0, 1]
+
+    def test_multiple_cuts_ordered(self):
+        binned = apply_cuts(np.array([0.0, 1.5, 2.5, 9.0]), [1.0, 2.0])
+        assert binned.tolist() == [0, 1, 2, 2]
+
+
+class TestEqualWidth:
+    def test_uniform_data_four_bins(self):
+        values = np.linspace(0, 1, 100)
+        cuts = EqualWidth(4).fit_column(values, np.zeros(100, dtype=int))
+        assert len(cuts) == 3
+        assert cuts == sorted(cuts)
+
+    def test_constant_column_no_cuts(self):
+        cuts = EqualWidth(4).fit_column(np.full(10, 3.0), np.zeros(10, dtype=int))
+        assert cuts == []
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            EqualWidth(0)
+
+
+class TestEqualFrequency:
+    def test_balanced_bins(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=400)
+        cuts = EqualFrequency(4).fit_column(values, np.zeros(400, dtype=int))
+        binned = apply_cuts(values, cuts)
+        counts = np.bincount(binned)
+        assert len(counts) == 4
+        assert counts.min() > 60  # roughly 100 each
+
+    def test_heavy_ties_merge_bins(self):
+        values = np.array([1.0] * 90 + [2.0] * 10)
+        cuts = EqualFrequency(4).fit_column(values, np.zeros(100, dtype=int))
+        # at most one real boundary survives
+        assert len(cuts) <= 1
+
+
+class TestMDLP:
+    def test_clear_boundary_found(self):
+        values = np.concatenate([np.linspace(0, 1, 50), np.linspace(5, 6, 50)])
+        labels = np.array([0] * 50 + [1] * 50)
+        cuts = MDLP().fit_column(values, labels)
+        assert len(cuts) >= 1
+        assert any(1.0 < c < 5.0 for c in cuts)
+
+    def test_pure_noise_no_cuts(self):
+        rng = np.random.default_rng(1)
+        values = rng.random(200)
+        labels = rng.integers(0, 2, 200)
+        cuts = MDLP(fallback_bins=1).fit_column(values, labels)
+        assert cuts == []
+
+    def test_fallback_bins_used_when_no_signal(self):
+        rng = np.random.default_rng(2)
+        values = rng.random(200)
+        labels = rng.integers(0, 2, 200)
+        cuts = MDLP(fallback_bins=3).fit_column(values, labels)
+        assert len(cuts) == 2
+
+    def test_three_segment_data(self):
+        values = np.concatenate(
+            [np.linspace(0, 1, 60), np.linspace(3, 4, 60), np.linspace(7, 8, 60)]
+        )
+        labels = np.array([0] * 60 + [1] * 60 + [0] * 60)
+        cuts = MDLP().fit_column(values, labels)
+        assert len(cuts) >= 2
+
+    def test_perfectly_classified_after_discretization(self):
+        values = np.concatenate([np.linspace(0, 1, 40), np.linspace(5, 6, 40)])
+        labels = np.array([0] * 40 + [1] * 40)
+        cuts = MDLP().fit_column(values, labels)
+        binned = apply_cuts(values, cuts)
+        # every bin is label-pure
+        for b in np.unique(binned):
+            assert len(np.unique(labels[binned == b])) == 1
+
+
+class TestDiscretizeTable:
+    def test_builds_dataset(self):
+        rng = np.random.default_rng(3)
+        matrix = rng.normal(size=(60, 3))
+        labels = (matrix[:, 0] > 0).astype(int)
+        dataset = discretize_table(matrix, labels, EqualFrequency(3), name="num")
+        assert dataset.n_rows == 60
+        assert dataset.n_attributes == 3
+        assert dataset.name == "num"
+        for attribute in dataset.attributes:
+            assert attribute.arity >= 1
+
+    def test_custom_attribute_names(self):
+        matrix = np.array([[0.0, 1.0], [1.0, 0.0]])
+        dataset = discretize_table(
+            matrix, [0, 1], EqualWidth(2), attribute_names=["alpha", "beta"]
+        )
+        assert dataset.attributes[0].name == "alpha"
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    data=st.lists(st.floats(-100, 100), min_size=10, max_size=80),
+    n_bins=st.integers(2, 5),
+)
+def test_bins_are_exhaustive_and_ordered(data, n_bins):
+    """Every value lands in a valid bin and bin index is monotone in value."""
+    values = np.asarray(data)
+    cuts = EqualFrequency(n_bins).fit_column(values, np.zeros(len(values), int))
+    binned = apply_cuts(values, cuts)
+    assert binned.min() >= 0
+    assert binned.max() <= len(cuts)
+    order = np.argsort(values, kind="stable")
+    assert (np.diff(binned[order]) >= 0).all()

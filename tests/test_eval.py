@@ -1,0 +1,170 @@
+"""Tests for metrics, stratified CV and model selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classifiers import DecisionTree, LinearSVM
+from repro.eval import (
+    accuracy,
+    confusion_matrix,
+    cross_validate_pipeline,
+    error_rate,
+    macro_f1,
+    per_class_accuracy,
+    select_best_classifier,
+    stratified_kfold,
+    svm_c_grid,
+)
+from repro.features import FrequentPatternClassifier
+
+
+class TestMetrics:
+    def test_accuracy_basic(self):
+        assert accuracy(np.array([1, 0, 1]), np.array([1, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_error_rate_complements(self):
+        predicted = np.array([0, 1, 0, 1])
+        actual = np.array([0, 0, 0, 1])
+        assert accuracy(predicted, actual) + error_rate(predicted, actual) == 1.0
+
+    def test_confusion_matrix_layout(self):
+        matrix = confusion_matrix(np.array([1, 0, 1]), np.array([1, 1, 0]))
+        # actual=1 predicted=1 once; actual=1 predicted=0 once; actual=0 pred=1.
+        assert matrix[1, 1] == 1
+        assert matrix[1, 0] == 1
+        assert matrix[0, 1] == 1
+        assert matrix.sum() == 3
+
+    def test_per_class_accuracy(self):
+        predicted = np.array([0, 0, 1, 1])
+        actual = np.array([0, 0, 1, 0])
+        per_class = per_class_accuracy(predicted, actual)
+        assert per_class[0] == pytest.approx(2 / 3)
+        assert per_class[1] == pytest.approx(1.0)
+
+    def test_macro_f1_perfect(self):
+        y = np.array([0, 1, 2, 0])
+        assert macro_f1(y, y) == pytest.approx(1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([1]), np.array([1, 2]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+
+class TestStratifiedKFold:
+    def test_partition_property(self):
+        labels = np.array([0] * 30 + [1] * 20)
+        folds = stratified_kfold(labels, 5, seed=0)
+        all_test = np.concatenate([test for _, test in folds])
+        assert sorted(all_test.tolist()) == list(range(50))
+        for train, test in folds:
+            assert set(train) & set(test) == set()
+            assert len(train) + len(test) == 50
+
+    def test_stratification(self):
+        labels = np.array([0] * 40 + [1] * 10)
+        folds = stratified_kfold(labels, 5, seed=1)
+        for _, test in folds:
+            class_one = (labels[test] == 1).sum()
+            assert class_one == 2  # 10 / 5 exactly
+
+    def test_seed_determinism(self):
+        labels = np.arange(20) % 2
+        a = stratified_kfold(labels, 4, seed=3)
+        b = stratified_kfold(labels, 4, seed=3)
+        for (ta, sa), (tb, sb) in zip(a, b):
+            assert (ta == tb).all() and (sa == sb).all()
+
+    def test_too_few_rows(self):
+        with pytest.raises(ValueError):
+            stratified_kfold(np.array([0, 1]), 5)
+
+    def test_min_folds(self):
+        with pytest.raises(ValueError):
+            stratified_kfold(np.zeros(10, dtype=int), 1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(10, 60),
+        n_folds=st.integers(2, 5),
+        seed=st.integers(0, 99),
+    )
+    def test_property_partition(self, n, n_folds, seed):
+        labels = np.arange(n) % 3
+        folds = stratified_kfold(labels, n_folds, seed=seed)
+        assert len(folds) == n_folds
+        all_test = sorted(
+            int(i) for _, test in folds for i in test
+        )
+        assert all_test == list(range(n))
+
+
+class TestCrossValidatePipeline:
+    def test_report_structure(self, planted_transactions):
+        factory = lambda: FrequentPatternClassifier(  # noqa: E731
+            use_patterns=False, classifier=DecisionTree()
+        )
+        report = cross_validate_pipeline(
+            factory, planted_transactions, n_folds=3, model_name="tree"
+        )
+        assert len(report.folds) == 3
+        assert 0.0 <= report.mean_accuracy <= 1.0
+        assert report.model == "tree"
+        for fold in report.folds:
+            assert fold.n_train + fold.n_test == planted_transactions.n_rows
+
+
+class TestModelSelection:
+    def test_picks_better_candidate(self, rng):
+        # Deep trees fit y = x0 AND x1; depth-0 stumps cannot.
+        features = rng.integers(0, 2, size=(200, 4)).astype(float)
+        labels = ((features[:, 0] == 1) & (features[:, 1] == 1)).astype(int)
+        factories = [
+            lambda: DecisionTree(max_depth=1, confidence=None),
+            lambda: DecisionTree(max_depth=None, confidence=None),
+        ]
+        model, scores = select_best_classifier(
+            factories, features, labels, n_folds=4,
+            descriptions=["stump", "full"],
+        )
+        best = max(scores, key=lambda s: s.mean_accuracy)
+        assert best.description == "full"
+        assert model.score(features, labels) == 1.0
+
+    def test_single_candidate_skips_cv(self, rng):
+        features = rng.normal(size=(20, 2))
+        labels = rng.integers(0, 2, 20)
+        model, scores = select_best_classifier(
+            [lambda: LinearSVM()], features, labels
+        )
+        assert len(scores) == 1
+        assert model._fitted
+
+    def test_no_candidates(self):
+        with pytest.raises(ValueError):
+            select_best_classifier([], np.zeros((2, 1)), np.array([0, 1]))
+
+    def test_svm_c_grid(self):
+        assert svm_c_grid() == [0.1, 1.0, 10.0]
+        assert svm_c_grid([5.0]) == [5.0]
+
+
+class TestModelSelectionFoldClamping:
+    def test_tiny_class_clamps_folds(self, rng):
+        """Inner CV must not request more folds than the smallest class."""
+        features = rng.normal(size=(20, 3))
+        labels = np.array([0] * 17 + [1] * 3)
+        model, scores = select_best_classifier(
+            [lambda: DecisionTree(), lambda: DecisionTree(max_depth=1)],
+            features,
+            labels,
+            n_folds=10,
+        )
+        assert model._fitted
+        assert len(scores) == 2

@@ -1,0 +1,73 @@
+"""Tests for learning curves (generalization argument of §3.1.2)."""
+
+import pytest
+
+from repro.classifiers import LinearSVM
+from repro.eval import learning_curve
+from repro.features import FrequentPatternClassifier
+
+
+class TestLearningCurve:
+    @pytest.fixture(scope="class")
+    def curve(self, planted_transactions):
+        return learning_curve(
+            lambda: FrequentPatternClassifier(
+                min_support=0.2, max_length=3, classifier=LinearSVM()
+            ),
+            planted_transactions,
+            fractions=(0.3, 0.6, 1.0),
+            n_repeats=2,
+            seed=0,
+        )
+
+    def test_sizes_ascending(self, curve):
+        sizes = [p.n_train for p in curve.points]
+        assert sizes == sorted(sizes)
+        assert len(sizes) == 3
+
+    def test_test_accuracy_trends_up(self, curve):
+        """More data should not make the model much worse."""
+        accuracies = curve.test_accuracies()
+        assert accuracies[-1] >= accuracies[0] - 0.05
+
+    def test_gap_shrinks_with_data(self, curve):
+        """The generalization gap narrows as n grows (the paper's
+        statistical-significance argument)."""
+        gaps = [p.generalization_gap for p in curve.points]
+        assert gaps[-1] <= gaps[0] + 0.02
+
+    def test_render(self, curve):
+        text = curve.render()
+        assert "n_train" in text
+        assert len(text.splitlines()) == 2 + len(curve.points)
+
+    def test_fraction_validation(self, planted_transactions):
+        with pytest.raises(ValueError):
+            learning_curve(
+                lambda: FrequentPatternClassifier(),
+                planted_transactions,
+                fractions=(0.0,),
+            )
+
+    def test_low_support_overfits_more_on_small_data(self, planted_transactions):
+        """Pat_All at a very low threshold shows a larger small-sample gap
+        than the MMRFS-selected model — the overfitting the paper warns
+        about."""
+        def selected():
+            return FrequentPatternClassifier(
+                min_support=0.25, max_length=3, delta=2
+            )
+
+        def unselected():
+            return FrequentPatternClassifier(
+                min_support=0.08, max_length=3, selection="none"
+            )
+
+        small = (0.25,)
+        gap_selected = learning_curve(
+            selected, planted_transactions, fractions=small, n_repeats=2
+        ).points[0].generalization_gap
+        gap_unselected = learning_curve(
+            unselected, planted_transactions, fractions=small, n_repeats=2
+        ).points[0].generalization_gap
+        assert gap_unselected >= gap_selected - 0.05

@@ -1,0 +1,131 @@
+"""Tests for the significance tests, cross-checked against scipy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as scipy_stats
+
+from repro.eval import mcnemar_test, paired_t_test, sign_test
+
+
+class TestPairedT:
+    def test_matches_scipy(self, rng):
+        for _ in range(5):
+            a = rng.random(8)
+            b = rng.random(8)
+            ours = paired_t_test(a, b)
+            reference = scipy_stats.ttest_rel(a, b)
+            assert ours.statistic == pytest.approx(reference.statistic, rel=1e-9)
+            assert ours.p_value == pytest.approx(reference.pvalue, rel=1e-6)
+
+    def test_identical_scores(self):
+        result = paired_t_test([0.5, 0.6, 0.7], [0.5, 0.6, 0.7])
+        assert result.p_value == 1.0
+        assert not result.significant()
+
+    def test_clear_difference_significant(self):
+        a = [0.9, 0.92, 0.91, 0.93, 0.9]
+        b = [0.7, 0.71, 0.72, 0.7, 0.69]
+        assert paired_t_test(a, b).significant(0.01)
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            paired_t_test([1.0], [1.0])
+        with pytest.raises(ValueError):
+            paired_t_test([1.0, 2.0], [1.0])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        data=st.lists(
+            st.tuples(st.floats(0, 1), st.floats(0, 1)), min_size=3, max_size=20
+        )
+    )
+    def test_property_matches_scipy(self, data):
+        a = np.array([x for x, _ in data])
+        b = np.array([y for _, y in data])
+        if np.allclose(a, b):
+            return
+        ours = paired_t_test(a, b)
+        reference = scipy_stats.ttest_rel(a, b)
+        if np.isnan(reference.pvalue):
+            return
+        assert ours.p_value == pytest.approx(reference.pvalue, abs=1e-6)
+
+
+class TestSignTest:
+    def test_all_wins_small_p(self):
+        a = [1.0] * 8
+        b = [0.0] * 8
+        result = sign_test(a, b)
+        assert result.p_value == pytest.approx(2 / 256)
+
+    def test_ties_dropped(self):
+        result = sign_test([1.0, 0.5, 0.5], [0.0, 0.5, 0.5])
+        assert result.n == 1
+
+    def test_all_ties(self):
+        result = sign_test([1.0, 1.0], [1.0, 1.0])
+        assert result.p_value == 1.0
+
+    def test_symmetric(self):
+        a = [0.9, 0.8, 0.2, 0.1, 0.95]
+        b = [0.1, 0.2, 0.8, 0.9, 0.05]
+        assert sign_test(a, b).p_value == sign_test(b, a).p_value
+
+
+class TestMcNemar:
+    def test_no_disagreement(self):
+        correct = np.ones(20, dtype=bool)
+        assert mcnemar_test(correct, correct).p_value == 1.0
+
+    def test_one_sided_dominance(self):
+        a = np.ones(40, dtype=bool)
+        b = np.zeros(40, dtype=bool)
+        result = mcnemar_test(a, b)
+        assert result.significant(0.001)
+        assert result.n == 40
+
+    def test_balanced_disagreement_not_significant(self):
+        a = np.array([True, False] * 20)
+        b = np.array([False, True] * 20)
+        result = mcnemar_test(a, b)
+        assert not result.significant(0.05)
+
+    def test_matches_scipy_chi2_tail(self):
+        a = np.array([True] * 25 + [False] * 8 + [True] * 30)
+        b = np.array([False] * 25 + [True] * 8 + [True] * 30)
+        result = mcnemar_test(a, b)
+        expected = scipy_stats.chi2.sf(result.statistic, df=1)
+        assert result.p_value == pytest.approx(expected, rel=1e-9)
+
+
+class TestOnRealComparison:
+    def test_pat_fs_vs_items_fold_scores(self, planted_transactions):
+        """Significance machinery applied to the paper's own comparison."""
+        from repro.classifiers import LinearSVM
+        from repro.eval import cross_validate_pipeline
+        from repro.features import FrequentPatternClassifier
+
+        data = planted_transactions
+        items = cross_validate_pipeline(
+            lambda: FrequentPatternClassifier(
+                use_patterns=False, classifier=LinearSVM()
+            ),
+            data,
+            n_folds=5,
+        )
+        patterns = cross_validate_pipeline(
+            lambda: FrequentPatternClassifier(
+                min_support=0.2, delta=3, classifier=LinearSVM()
+            ),
+            data,
+            n_folds=5,
+        )
+        result = paired_t_test(
+            [f.accuracy for f in patterns.folds],
+            [f.accuracy for f in items.folds],
+        )
+        # Planted conjunctive data: the improvement should be significant.
+        assert result.statistic > 0
+        assert result.significant(0.1)

@@ -1,0 +1,202 @@
+"""Tests for the experiment drivers (tables, scalability, figures, ablations)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import TransactionDataset, load_uci
+from repro.experiments import (
+    AccuracyTable,
+    config_for,
+    figure1_ig_vs_length,
+    figure2_ig_vs_support,
+    figure3_fisher_vs_support,
+    make_variant,
+    run_accuracy_table,
+    run_scalability_table,
+    sweep_delta,
+    sweep_min_support,
+)
+from repro.experiments.registry import DATASET_CONFIGS
+
+
+@pytest.fixture(scope="module")
+def small_austral():
+    return TransactionDataset.from_dataset(load_uci("austral", scale=0.35))
+
+
+class TestRegistry:
+    def test_every_uci_dataset_has_config(self):
+        from repro.datasets import available_datasets
+
+        for name in available_datasets():
+            config = config_for(name)
+            assert 0 < config.min_support <= 1
+            assert name in DATASET_CONFIGS
+
+    def test_fallback_default(self):
+        config = config_for("unknown-dataset")
+        assert config.min_support == 0.1
+
+
+class TestVariants:
+    def test_all_svm_variants_construct(self):
+        config = config_for("austral")
+        for variant in ("Item_All", "Item_FS", "Item_RBF", "Pat_All", "Pat_FS"):
+            pipeline = make_variant(variant, "svm", config)()
+            assert pipeline is not None
+
+    def test_item_rbf_requires_svm(self):
+        with pytest.raises(ValueError, match="SVM-only"):
+            make_variant("Item_RBF", "c45", config_for("austral"))
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError, match="unknown variant"):
+            make_variant("Nope", "svm", config_for("austral"))
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError, match="model family"):
+            make_variant("Item_All", "boost", config_for("austral"))
+
+
+class TestAccuracyTable:
+    def test_small_run_structure(self, small_austral):
+        table = run_accuracy_table(
+            ["austral"],
+            model="c45",
+            n_folds=3,
+            scale=0.35,
+            variants=("Item_All", "Pat_FS"),
+        )
+        assert isinstance(table, AccuracyTable)
+        assert len(table.rows) == 1
+        row = table.rows[0]
+        assert set(row.accuracies) == {"Item_All", "Pat_FS"}
+        for value in row.accuracies.values():
+            assert 0.0 <= value <= 100.0
+        rendered = table.render()
+        assert "austral" in rendered
+        assert "mean" in rendered
+
+    def test_wins_counter(self):
+        from repro.experiments.tables import AccuracyRow
+
+        table = AccuracyTable(
+            title="t",
+            variants=("A", "B"),
+            rows=[
+                AccuracyRow("d1", {"A": 90.0, "B": 80.0}),
+                AccuracyRow("d2", {"A": 70.0, "B": 85.0}),
+                AccuracyRow("d3", {"A": 60.0, "B": 75.0}),
+            ],
+        )
+        assert table.wins_for("B") == 2
+        assert table.rows[0].best_variant() == "A"
+
+
+class TestScalability:
+    def test_table_shape_and_blowup(self, small_austral):
+        n = small_austral.n_rows
+        table = run_scalability_table(
+            small_austral,
+            absolute_supports=[int(0.4 * n), int(0.25 * n)],
+            title="test",
+            pattern_budget=3000,
+            with_accuracy=True,
+        )
+        rendered = table.render()
+        assert "min_sup" in rendered
+        feasible = [r for r in table.rows if r.feasible]
+        assert len(feasible) >= 2
+        # Lower min_sup yields at least as many patterns.
+        supports = [r.min_support for r in feasible]
+        counts = [r.n_patterns for r in feasible]
+        paired = sorted(zip(supports, counts), reverse=True)
+        assert paired[0][1] <= paired[-1][1] + 1
+        # The min_sup = 1 row must be present and infeasible at this budget.
+        one_row = [r for r in table.rows if r.min_support == 1][0]
+        assert not one_row.feasible
+        assert one_row.svm_accuracy is None
+
+    def test_accuracy_skippable(self, small_austral):
+        n = small_austral.n_rows
+        table = run_scalability_table(
+            small_austral,
+            absolute_supports=[int(0.4 * n)],
+            include_minsup_one=False,
+            with_accuracy=False,
+        )
+        assert all(r.svm_accuracy is None for r in table.rows)
+
+
+class TestFigures:
+    @pytest.fixture(scope="class")
+    def binary_data(self):
+        return TransactionDataset.from_dataset(load_uci("breast", scale=0.4))
+
+    def test_figure1_lengths_present(self, binary_data):
+        figure = figure1_ig_vs_length(binary_data, min_support=0.15)
+        envelope = figure.max_by_length()
+        assert 1 in envelope  # single features plotted too
+        assert max(envelope) >= 2  # and real patterns
+
+    def test_figure2_no_violations(self, binary_data):
+        figure = figure2_ig_vs_support(binary_data, min_support=0.1)
+        assert figure.violations() == []
+        assert len(figure.bound_thetas) == len(figure.bound_values) > 0
+
+    def test_figure3_no_violations(self, binary_data):
+        figure = figure3_fisher_vs_support(binary_data, min_support=0.1)
+        assert figure.violations(tolerance=1e-6) == []
+
+    def test_figure2_bound_shape(self, binary_data):
+        """Bound is small at extreme supports, large in the middle."""
+        figure = figure2_ig_vs_support(binary_data, min_support=0.1)
+        values = figure.bound_values
+        middle = max(values)
+        assert values[0] < middle * 0.2
+        assert values[-1] < middle * 0.5
+
+    def test_multiclass_rejected(self):
+        data = TransactionDataset.from_dataset(load_uci("iris"))
+        with pytest.raises(ValueError, match="binary"):
+            figure2_ig_vs_support(data)
+
+    def test_render(self, binary_data):
+        figure = figure2_ig_vs_support(binary_data, min_support=0.15)
+        text = figure.render()
+        assert "information_gain" in text
+
+
+class TestAblations:
+    def test_min_support_sweep_runs(self, small_austral):
+        result = sweep_min_support(
+            small_austral, supports=[0.3, 0.15], n_folds=2
+        )
+        assert len(result.points) == 2
+        assert all(0 <= p.accuracy <= 1 for p in result.points)
+        assert "min_sup" in result.render()
+
+    def test_delta_sweep_feature_monotonicity(self, small_austral):
+        result = sweep_delta(small_austral, deltas=[1, 5], n_folds=2)
+        by_delta = {p.setting: p.n_features for p in result.points}
+        assert by_delta["delta=5"] >= by_delta["delta=1"]
+
+
+class TestAsciiPlot:
+    def test_plot_contains_bound_and_points(self):
+        data = TransactionDataset.from_dataset(load_uci("breast", scale=0.4))
+        figure = figure2_ig_vs_support(data, min_support=0.15)
+        art = figure.ascii_plot(width=50, height=10)
+        assert "─" in art  # bound curve drawn
+        assert "·" in art  # pattern scatter drawn
+        lines = art.splitlines()
+        assert len(lines) == 1 + 10 + 2  # title + grid + axis rows
+
+    def test_empty_points(self):
+        from repro.experiments import FigureData
+
+        empty = FigureData(
+            dataset="d", measure="information_gain", points=[],
+            bound_thetas=[], bound_values=[], n_rows=10,
+        )
+        assert "no patterns" in empty.ascii_plot()

@@ -1,0 +1,152 @@
+"""Tests for the paper-values data and the report generator."""
+
+import pytest
+
+from repro.experiments import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    PAPER_TABLE5,
+    paper_pat_fs_gain,
+)
+from repro.experiments.report import (
+    _accuracy_section,
+    _scalability_section,
+)
+from repro.experiments.tables import AccuracyRow, AccuracyTable
+
+
+class TestPaperValues:
+    def test_table1_complete(self):
+        assert len(PAPER_TABLE1) == 19
+        for row in PAPER_TABLE1.values():
+            assert set(row) == {
+                "Item_All", "Item_FS", "Item_RBF", "Pat_All", "Pat_FS",
+            }
+            for value in row.values():
+                assert 0.0 <= value <= 100.0
+
+    def test_table2_complete(self):
+        assert len(PAPER_TABLE2) == 19
+        for row in PAPER_TABLE2.values():
+            assert set(row) == {"Item_All", "Item_FS", "Pat_All", "Pat_FS"}
+
+    def test_paper_shape_pat_fs_dominates(self):
+        """The shape claims the benches test for are true of the paper
+        numbers themselves (sanity of the reproduction target)."""
+        wins = sum(
+            1 for row in PAPER_TABLE1.values()
+            if row["Pat_FS"] == max(row.values())
+        )
+        assert wins >= 14  # Pat_FS best on most of the 19 datasets
+        means = {
+            v: sum(r[v] for r in PAPER_TABLE1.values()) / 19
+            for v in ("Item_All", "Item_RBF", "Pat_All", "Pat_FS")
+        }
+        assert means["Pat_FS"] > means["Pat_All"] > 0
+        assert means["Pat_FS"] > means["Item_All"]
+        assert means["Pat_FS"] > means["Item_RBF"]
+
+    def test_headline_improvement_up_to_12_percent(self):
+        """'up to 12% in UCI datasets' (abstract) — lymph: 81.00 -> 96.67."""
+        gains = paper_pat_fs_gain(PAPER_TABLE1)
+        assert max(gains.values()) == pytest.approx(15.67, abs=0.01)
+        assert gains["cleve"] == pytest.approx(10.23, abs=0.01)
+
+    def test_scalability_tables_monotone(self):
+        for table in (PAPER_TABLE3, PAPER_TABLE4, PAPER_TABLE5):
+            feasible = [r for r in table if r.time_seconds is not None]
+            ordered = sorted(feasible, key=lambda r: -r.min_support)
+            counts = [r.n_patterns for r in ordered]
+            times = [r.time_seconds for r in ordered]
+            assert counts == sorted(counts)
+            assert times == sorted(times)
+
+    def test_infeasible_rows_marked(self):
+        for table in (PAPER_TABLE3, PAPER_TABLE4, PAPER_TABLE5):
+            first = table[0]
+            assert first.min_support == 1
+            assert first.svm_percent is None
+
+
+class TestReportRendering:
+    def test_accuracy_section_pairs_paper_and_measured(self):
+        measured = AccuracyTable(
+            title="t",
+            variants=("Item_All", "Pat_FS"),
+            rows=[AccuracyRow("austral", {"Item_All": 80.0, "Pat_FS": 88.0})],
+        )
+        lines = _accuracy_section("Table 1", measured, PAPER_TABLE1)
+        body = "\n".join(lines)
+        assert "85.01 / 80.00" in body  # paper / ours
+        assert "91.14 / 88.00" in body
+        assert "mean" in body
+
+    def test_scalability_section_renders_na(self):
+        from repro.experiments import ScalabilityRow, ScalabilityTable
+
+        measured = ScalabilityTable(
+            title="t",
+            rows=[
+                ScalabilityRow(
+                    min_support=10, feasible=True, n_patterns=5,
+                    time_seconds=0.1, svm_accuracy=90.0, c45_accuracy=85.0,
+                )
+            ],
+        )
+        lines = _scalability_section(
+            "Table 3", measured, PAPER_TABLE3, n_rows_ours=800,
+            n_rows_paper=3196,
+        )
+        body = "\n".join(lines)
+        assert "N/A" in body  # the paper's min_sup = 1 row
+        assert "68967" in body.replace(",", "") or "68,967" in body
+
+
+class TestVariantComparison:
+    def test_pat_fs_vs_item_all_small_battery(self):
+        from repro.experiments import compare_variants
+
+        comparison = compare_variants(
+            "Pat_FS", "Item_All",
+            datasets=["iris", "cleve"],
+            model="c45", n_folds=2, scale=0.5,
+        )
+        assert set(comparison.per_dataset) == {"iris", "cleve"}
+        assert comparison.wins_a + comparison.wins_b <= 2
+        rendered = comparison.render()
+        assert "sign test" in rendered
+        assert "Pat_FS vs Item_All" in rendered
+
+    def test_statistics_consistent(self):
+        from repro.experiments.comparison import VariantComparison
+        from repro.eval import paired_t_test, sign_test
+
+        per_dataset = {"d1": (90.0, 85.0), "d2": (80.0, 82.0), "d3": (75.0, 70.0)}
+        a = [v[0] for v in per_dataset.values()]
+        b = [v[1] for v in per_dataset.values()]
+        comparison = VariantComparison(
+            "A", "B", per_dataset, sign_test(a, b), paired_t_test(a, b)
+        )
+        assert comparison.wins_a == 2
+        assert comparison.wins_b == 1
+        assert comparison.mean_difference == pytest.approx(8.0 / 3.0)
+
+
+class TestGenerateReport:
+    def test_tiny_report_end_to_end(self):
+        from repro.experiments import ReportConfig, generate_report
+
+        report = generate_report(
+            ReportConfig(
+                scale=0.4,
+                n_folds=2,
+                datasets=("iris",),
+                include_scalability=False,
+            )
+        )
+        assert "# EXPERIMENTS" in report
+        assert "Table 1 — accuracy by SVM" in report
+        assert "iris" in report
+        assert "94.00 / " in report  # paper value paired with ours

@@ -1,0 +1,171 @@
+"""Tests for ARFF/CSV interop and pattern serialization."""
+
+import io
+
+import pytest
+
+from repro.io import (
+    load_patterns,
+    patterns_from_json,
+    patterns_to_json,
+    read_arff,
+    read_csv,
+    save_patterns,
+    selection_to_json,
+    write_arff,
+    write_csv,
+)
+from repro.mining import mine_class_patterns
+from repro.selection import mmrfs
+
+ARFF_TEXT = """% weather, nominal only
+@relation weather
+@attribute outlook {sunny,overcast,rain}
+@attribute windy {yes,no}
+@attribute play {yes,no}
+@data
+sunny,no,no
+overcast,no,yes
+rain,yes,no
+rain,no,yes
+"""
+
+
+class TestArff:
+    def test_round_trip(self, tiny_dataset):
+        buffer = io.StringIO()
+        write_arff(tiny_dataset, buffer)
+        buffer.seek(0)
+        loaded = read_arff(buffer)
+        assert loaded.n_rows == tiny_dataset.n_rows
+        assert loaded.n_attributes == tiny_dataset.n_attributes
+        assert (loaded.labels == tiny_dataset.labels).all()
+        # value content identical (domains may be reordered by appearance)
+        for i in range(tiny_dataset.n_rows):
+            original = [
+                tiny_dataset.attributes[j].values[v]
+                for j, v in enumerate(tiny_dataset.rows[i])
+            ]
+            reloaded = [
+                loaded.attributes[j].values[v]
+                for j, v in enumerate(loaded.rows[i])
+            ]
+            assert original == reloaded
+
+    def test_read_fixture(self):
+        dataset = read_arff(io.StringIO(ARFF_TEXT))
+        assert dataset.name == "weather"
+        assert dataset.n_rows == 4
+        assert dataset.n_attributes == 2  # class column excluded
+        assert set(dataset.class_names) == {"yes", "no"}
+
+    def test_explicit_class_attribute(self):
+        dataset = read_arff(io.StringIO(ARFF_TEXT), class_attribute="outlook")
+        assert dataset.n_classes == 3
+        assert dataset.n_attributes == 2
+
+    def test_numeric_attribute_rejected(self):
+        text = "@relation r\n@attribute x numeric\n@data\n1\n"
+        with pytest.raises(ValueError, match="nominal"):
+            read_arff(io.StringIO(text))
+
+    def test_missing_class_attribute(self):
+        with pytest.raises(ValueError, match="not declared"):
+            read_arff(io.StringIO(ARFF_TEXT), class_attribute="nope")
+
+    def test_ragged_row_rejected(self):
+        text = ARFF_TEXT + "sunny,no\n"
+        with pytest.raises(ValueError, match="values"):
+            read_arff(io.StringIO(text))
+
+
+class TestCsv:
+    def test_round_trip(self, tiny_dataset):
+        buffer = io.StringIO()
+        write_csv(tiny_dataset, buffer)
+        buffer.seek(0)
+        loaded = read_csv(buffer, name=tiny_dataset.name)
+        assert loaded.n_rows == tiny_dataset.n_rows
+        assert (loaded.labels == tiny_dataset.labels).all()
+
+    def test_class_column_by_name(self):
+        text = "label,f1\nyes,a\nno,b\n"
+        dataset = read_csv(io.StringIO(text), class_column="label")
+        assert dataset.n_classes == 2
+        assert dataset.attributes[0].name == "f1"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            read_csv(io.StringIO(""))
+
+    def test_field_count_mismatch(self):
+        text = "a,b\n1\n"
+        with pytest.raises(ValueError, match="fields"):
+            read_csv(io.StringIO(text))
+
+
+class TestPatternSerialization:
+    def test_round_trip(self, tiny_transactions, tmp_path):
+        result = mine_class_patterns(tiny_transactions, min_support=0.3)
+        path = tmp_path / "patterns.json"
+        save_patterns(result, path, catalog=tiny_transactions.catalog)
+        loaded = load_patterns(path)
+        assert loaded.as_dict() == result.as_dict()
+        assert loaded.min_support == result.min_support
+        assert loaded.n_rows == result.n_rows
+
+    def test_json_payload_shape(self, tiny_transactions):
+        result = mine_class_patterns(tiny_transactions, min_support=0.3)
+        payload = patterns_to_json(result, catalog=tiny_transactions.catalog)
+        assert payload["format_version"] == 1
+        assert len(payload["item_names"]) == tiny_transactions.n_items
+        assert all(
+            set(entry) == {"items", "support"} for entry in payload["patterns"]
+        )
+
+    def test_version_check(self):
+        with pytest.raises(ValueError, match="version"):
+            patterns_from_json({"format_version": 99, "patterns": []})
+
+    def test_selection_export(self, tiny_transactions):
+        mined = mine_class_patterns(tiny_transactions, min_support=0.3)
+        selection = mmrfs(mined.patterns, tiny_transactions, delta=1)
+        payload = selection_to_json(selection, catalog=tiny_transactions.catalog)
+        assert payload["delta"] == 1
+        assert len(payload["selected"]) == len(selection)
+        if payload["selected"]:
+            first = payload["selected"][0]
+            assert first["order"] == 0
+            assert first["rendered"].startswith("{")
+
+
+class TestArffQuotedNames:
+    def test_quoted_attribute_names(self):
+        text = (
+            "@relation r\n"
+            "@attribute 'cap color' {red,blue}\n"
+            "@attribute class {a,b}\n"
+            "@data\n"
+            "red,a\nblue,b\n"
+        )
+        dataset = read_arff(io.StringIO(text))
+        assert dataset.attributes[0].name == "cap color"
+        assert dataset.n_rows == 2
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = (
+            "% header comment\n\n"
+            "@relation r\n"
+            "@attribute f {x,y}\n"
+            "@attribute class {a,b}\n"
+            "@data\n"
+            "% data comment\n"
+            "x,a\n\n"
+            "y,b\n"
+        )
+        dataset = read_arff(io.StringIO(text))
+        assert dataset.n_rows == 2
+
+    def test_no_attributes_rejected(self):
+        with pytest.raises(ValueError, match="@attribute"):
+            read_arff(io.StringIO("@relation r\n@data\n"))

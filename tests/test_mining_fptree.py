@@ -1,0 +1,89 @@
+"""Direct unit tests for the FP-tree structure."""
+
+import pytest
+
+from repro.mining import FPTree
+
+TRANSACTIONS = [
+    (0, 1, 2),
+    (0, 1),
+    (0, 2),
+    (1, 2),
+    (0, 1, 2, 3),
+]
+
+
+class TestConstruction:
+    def test_item_counts_filtered(self):
+        tree = FPTree.from_transactions(TRANSACTIONS, min_support=4)
+        assert set(tree.item_counts) == {0, 1, 2}
+        assert tree.item_counts[0] == 4
+
+    def test_min_support_prunes_items(self):
+        tree = FPTree.from_transactions(TRANSACTIONS, min_support=2)
+        assert 3 not in tree.item_counts  # appears once
+
+    def test_root_counts_sum(self):
+        tree = FPTree.from_transactions(TRANSACTIONS, min_support=1)
+        total = sum(child.count for child in tree.root.children.values())
+        assert total == len(TRANSACTIONS)
+
+    def test_empty_tree(self):
+        tree = FPTree.from_transactions([], min_support=1)
+        assert tree.is_empty
+
+    def test_weighted_paths(self):
+        tree = FPTree.from_weighted([((0, 1), 3), ((0,), 2)], min_support=1)
+        assert tree.item_counts[0] == 5
+        assert tree.item_counts[1] == 3
+
+
+class TestHeaderChains:
+    def test_chain_counts_match_item_counts(self):
+        tree = FPTree.from_transactions(TRANSACTIONS, min_support=1)
+        for item, count in tree.item_counts.items():
+            chained = sum(node.count for node in tree.node_chain(item))
+            assert chained == count
+
+    def test_conditional_pattern_base(self):
+        tree = FPTree.from_transactions(TRANSACTIONS, min_support=1)
+        # Least-frequent item 3 occurs once with prefix {0,1,2}.
+        base = tree.conditional_pattern_base(3)
+        assert len(base) == 1
+        path, count = base[0]
+        assert count == 1
+        assert set(path) == {0, 1, 2}
+
+    def test_prefix_path_excludes_self_and_root(self):
+        tree = FPTree.from_transactions(TRANSACTIONS, min_support=1)
+        for node in tree.node_chain(3):
+            path = node.prefix_path()
+            assert 3 not in path
+            assert None not in path
+
+
+class TestShape:
+    def test_items_ascending_order(self):
+        tree = FPTree.from_transactions(TRANSACTIONS, min_support=1)
+        items = tree.items_ascending()
+        counts = [tree.item_counts[i] for i in items]
+        assert counts == sorted(counts)
+
+    def test_single_path_detection(self):
+        tree = FPTree.from_transactions([(0, 1, 2), (0, 1)], min_support=1)
+        is_single, chain = tree.is_single_path()
+        assert is_single
+        assert [n.item for n in chain] == [0, 1, 2]
+
+    def test_branching_not_single_path(self):
+        tree = FPTree.from_transactions([(0, 1), (2, 3)], min_support=1)
+        is_single, chain = tree.is_single_path()
+        assert not is_single
+        assert chain == []
+
+    def test_shared_prefix_compression(self):
+        # Both transactions share prefix item 0 -> one child under root.
+        tree = FPTree.from_transactions([(0, 1), (0, 2)], min_support=1)
+        assert len(tree.root.children) == 1
+        root_child = next(iter(tree.root.children.values()))
+        assert root_child.count == 2

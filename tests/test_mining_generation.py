@@ -1,0 +1,119 @@
+"""Tests for per-class feature generation and guarded mining."""
+
+import pytest
+
+from repro.mining import (
+    PatternBudgetExceeded,
+    closed_fpgrowth,
+    fpgrowth,
+    guarded_mine,
+    mine_class_patterns,
+    recount_supports,
+)
+
+
+class TestMineClassPatterns:
+    def test_supports_counted_globally(self, tiny_transactions):
+        result = mine_class_patterns(tiny_transactions, min_support=0.3)
+        for pattern in result:
+            assert pattern.support == tiny_transactions.support_count(pattern.items)
+
+    def test_min_length_excludes_singles(self, tiny_transactions):
+        result = mine_class_patterns(tiny_transactions, min_support=0.3)
+        assert all(p.length >= 2 for p in result)
+
+    def test_min_length_one_includes_singles(self, tiny_transactions):
+        result = mine_class_patterns(
+            tiny_transactions, min_support=0.3, min_length=1
+        )
+        assert any(p.length == 1 for p in result)
+
+    def test_relative_support_validation(self, tiny_transactions):
+        with pytest.raises(ValueError, match="relative"):
+            mine_class_patterns(tiny_transactions, min_support=5)
+
+    def test_union_over_classes(self, planted_transactions):
+        """A pattern frequent in either class partition appears in the union."""
+        result = mine_class_patterns(planted_transactions, min_support=0.35)
+        itemsets = {p.items for p in result}
+        partition = planted_transactions.class_partition()
+        for label, transactions in partition.items():
+            threshold = int(-(-0.35 * len(transactions) // 1))
+            per_class = closed_fpgrowth(transactions, threshold)
+            for pattern in per_class:
+                if pattern.length >= 2:
+                    assert pattern.items in itemsets
+
+    def test_miner_all_vs_closed_counts(self, planted_transactions):
+        closed = mine_class_patterns(
+            planted_transactions, min_support=0.3, miner="closed"
+        )
+        everything = mine_class_patterns(
+            planted_transactions, min_support=0.3, miner="all"
+        )
+        assert len(everything) >= len(closed)
+
+    def test_deterministic_order(self, tiny_transactions):
+        a = mine_class_patterns(tiny_transactions, min_support=0.3)
+        b = mine_class_patterns(tiny_transactions, min_support=0.3)
+        assert [p.items for p in a] == [p.items for p in b]
+
+
+class TestRecountSupports:
+    def test_empty(self, tiny_transactions):
+        assert recount_supports([], tiny_transactions) == []
+
+    def test_matches_naive_counts(self, tiny_transactions):
+        itemsets = [(0,), (0, 3), tuple(tiny_transactions.transactions[0])]
+        patterns = recount_supports(itemsets, tiny_transactions)
+        for pattern in patterns:
+            assert pattern.support == tiny_transactions.support_count(pattern.items)
+
+
+class TestGuardedMine:
+    def test_feasible_run(self, tiny_transactions):
+        report = guarded_mine(
+            fpgrowth, tiny_transactions.transactions, min_support=3,
+            max_patterns=100_000,
+        )
+        assert report.feasible
+        assert report.result is not None
+        assert report.n_patterns == len(report.result)
+
+    def test_blowup_detected(self, planted_transactions):
+        report = guarded_mine(
+            fpgrowth,
+            planted_transactions.transactions,
+            min_support=1,
+            max_patterns=50,
+        )
+        assert not report.feasible
+        assert report.result is None
+        assert report.n_patterns > 50
+        assert "budget" in report.pattern_count_display
+
+    def test_elapsed_recorded(self, tiny_transactions):
+        report = guarded_mine(
+            fpgrowth, tiny_transactions.transactions, min_support=2,
+            max_patterns=100_000,
+        )
+        assert report.elapsed_seconds >= 0.0
+
+
+class TestMergedBudget:
+    def test_union_budget_enforced(self, planted_transactions):
+        """The pattern budget bounds the merged candidate set, not just
+        each class partition (regression: letter's min_sup=1 row)."""
+        with pytest.raises(PatternBudgetExceeded):
+            mine_class_patterns(
+                planted_transactions,
+                min_support=0.05,
+                max_length=4,
+                max_patterns=20,
+            )
+
+    def test_budget_not_triggered_when_under(self, tiny_transactions):
+        result = mine_class_patterns(
+            tiny_transactions, min_support=0.3, max_patterns=10_000
+        )
+        assert len(result) <= 10_000

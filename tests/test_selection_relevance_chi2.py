@@ -1,0 +1,56 @@
+"""Tests for the chi-square relevance measure."""
+
+import pytest
+
+from repro.measures import PatternStats
+from repro.selection import ChiSquareRelevance, get_relevance
+
+
+class TestChiSquareRelevance:
+    def test_registered(self):
+        assert isinstance(get_relevance("chi2"), ChiSquareRelevance)
+
+    def test_independent_is_zero(self):
+        stats = PatternStats(present=(25, 25), absent=(25, 25))
+        assert ChiSquareRelevance()(stats) == pytest.approx(0.0)
+
+    def test_perfect_association_is_one(self):
+        # Normalized chi2 of a perfectly aligned 2x2 table equals 1 (phi^2).
+        stats = PatternStats(present=(0, 50), absent=(50, 0))
+        assert ChiSquareRelevance()(stats) == pytest.approx(1.0)
+
+    def test_monotone_in_association(self):
+        weak = PatternStats(present=(20, 30), absent=(30, 20))
+        strong = PatternStats(present=(5, 45), absent=(45, 5))
+        measure = ChiSquareRelevance()
+        assert measure(strong) > measure(weak)
+
+    def test_empty_is_zero(self):
+        stats = PatternStats(present=(0, 0), absent=(0, 0))
+        assert ChiSquareRelevance()(stats) == 0.0
+
+    def test_usable_in_mmrfs(self, planted_transactions):
+        from repro.mining import mine_class_patterns
+        from repro.selection import mmrfs
+
+        mined = mine_class_patterns(planted_transactions, min_support=0.25)
+        result = mmrfs(
+            mined.patterns, planted_transactions, relevance="chi2", delta=1
+        )
+        assert len(result) >= 1
+
+    def test_agrees_with_cmar_chi2(self):
+        """Normalized measure == CMAR's chi_square / n on the same table."""
+        from repro.baselines import chi_square
+
+        stats = PatternStats(present=(10, 30), absent=(35, 25))
+        n = stats.n_rows
+        expected = chi_square(
+            stats.support,
+            stats.class_totals[1],
+            stats.present[1],
+            n,
+        ) / n
+        # The 2 x m measure sums over classes; for 2 classes both formulations
+        # describe the same table.
+        assert ChiSquareRelevance()(stats) == pytest.approx(expected)
