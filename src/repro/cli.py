@@ -69,6 +69,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         min_support=args.min_support,
         miner=args.miner,
         max_length=args.max_length,
+        n_jobs=args.jobs,
     )
     print(
         f"mined {len(result)} {args.miner} patterns from {data.name} "
@@ -86,7 +87,10 @@ def _cmd_select(args: argparse.Namespace) -> int:
 
     data = _load_transactions(args.dataset, args.scale)
     mined = mine_class_patterns(
-        data, min_support=args.min_support, max_length=args.max_length
+        data,
+        min_support=args.min_support,
+        max_length=args.max_length,
+        n_jobs=args.jobs,
     )
     selection = mmrfs(
         mined.patterns, data, relevance=args.relevance, delta=args.delta
@@ -117,7 +121,12 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     for variant in args.variants:
         factory = make_variant(variant, args.model, config)
         report = cross_validate_pipeline(
-            factory, data, n_folds=args.folds, seed=args.seed, model_name=variant
+            factory,
+            data,
+            n_folds=args.folds,
+            seed=args.seed,
+            model_name=variant,
+            n_jobs=args.jobs,
         )
         print(
             f"{data.name:10s} {variant:10s} "
@@ -202,6 +211,21 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--min-support", type=float, default=0.1,
                          dest="min_support")
         sub.add_argument("--max-length", type=int, default=5, dest="max_length")
+        add_jobs(sub)
+
+    def jobs_type(value):
+        jobs = int(value)
+        if jobs < 1 and jobs != -1:
+            raise argparse.ArgumentTypeError(
+                "must be a positive integer or -1 (all CPUs)"
+            )
+        return jobs
+
+    def add_jobs(sub):
+        sub.add_argument(
+            "--jobs", type=jobs_type, default=1, dest="jobs",
+            help="parallel workers (1 = serial, -1 = all CPUs)",
+        )
 
     mine = commands.add_parser("mine", help="mine closed frequent patterns")
     add_common(mine)
@@ -229,6 +253,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--variants", nargs="+",
         default=["Item_All", "Pat_All", "Pat_FS"],
     )
+    add_jobs(evaluate)
     evaluate.set_defaults(handler=_cmd_evaluate)
 
     table = commands.add_parser("table", help="regenerate a paper table")

@@ -1,0 +1,205 @@
+"""Packed-bitset transaction engine: uint64 row masks + popcount kernels.
+
+Every hot path of the pipeline — closedness filtering in the LCM-style
+miner, MMRFS coverage/redundancy updates, contingency-table batching and
+design-matrix construction — reduces to three primitive operations over
+boolean row masks: intersection, cardinality (popcount) and Jaccard
+overlap.  This module packs those masks 64 rows per machine word so each
+primitive touches 1/8 of the bytes a ``dtype=bool`` array would, and the
+bitwise AND replaces boolean fancy-indexing.
+
+Layout: a mask of ``n`` bits is a little-endian ``uint64`` vector of
+``ceil(n / 64)`` words; bit ``k`` lives in word ``k // 64`` at position
+``k % 64``.  The dtype is explicitly ``'<u8'`` so packed buffers are
+byte-identical across platforms.  Tail bits past ``n`` in the last word
+are always zero — every kernel preserves that invariant, so popcounts
+never see garbage bits.
+
+:class:`BitMatrix` stacks masks row-wise.  The pipeline uses it in the
+*vertical* orientation (one mask per item, bits indexed by transaction),
+which makes pattern coverage an AND-reduction over item masks and support
+a popcount — the classic vertical-format trick of Eclat/CHARM, applied
+here to the paper's feature-construction stage as well.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "WORD_BITS",
+    "BitMatrix",
+    "word_count",
+    "pack_bits",
+    "unpack_bits",
+    "popcount",
+    "intersection_counts",
+    "packed_ones",
+]
+
+WORD_BITS = 64
+#: Explicit little-endian words: platform-independent packed layout.
+_WORD_DTYPE = np.dtype("<u8")
+#: Bits set in each possible byte value; fallback popcount is a table
+#: gather + sum when the hardware popcount ufunc (numpy >= 2.0) is absent.
+_POPCOUNT8 = np.unpackbits(
+    np.arange(256, dtype=np.uint8)[:, np.newaxis], axis=1
+).sum(axis=1).astype(np.int64)
+_BITWISE_COUNT = getattr(np, "bitwise_count", None)
+
+
+def word_count(n_bits: int) -> int:
+    """Number of uint64 words needed to hold ``n_bits`` bits."""
+    if n_bits < 0:
+        raise ValueError("n_bits must be >= 0")
+    return (n_bits + WORD_BITS - 1) // WORD_BITS
+
+
+def pack_bits(dense: np.ndarray) -> np.ndarray:
+    """Pack a boolean array along its last axis into uint64 words.
+
+    Shape ``(..., n_bits)`` becomes ``(..., word_count(n_bits))``; tail
+    bits of the final word are zero.
+    """
+    dense = np.asarray(dense, dtype=bool)
+    n_bits = dense.shape[-1]
+    packed = np.packbits(dense, axis=-1, bitorder="little")
+    pad = word_count(n_bits) * 8 - packed.shape[-1]
+    if pad:
+        width = [(0, 0)] * (packed.ndim - 1) + [(0, pad)]
+        packed = np.pad(packed, width)
+    return np.ascontiguousarray(packed).view(_WORD_DTYPE)
+
+
+def unpack_bits(words: np.ndarray, n_bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: boolean array of shape ``(..., n_bits)``."""
+    words = np.ascontiguousarray(words, dtype=_WORD_DTYPE)
+    if words.shape[-1] == 0:
+        return np.zeros(words.shape[:-1] + (n_bits,), dtype=bool)
+    bits = np.unpackbits(words.view(np.uint8), axis=-1, bitorder="little")
+    return bits[..., :n_bits].astype(bool)
+
+
+def popcount(words: np.ndarray) -> np.ndarray:
+    """Set-bit count of each mask: sums over the last (word) axis.
+
+    A 1-D input (a single mask) yields a scalar; an ``(m, n_words)`` stack
+    yields ``m`` counts.
+    """
+    words = np.ascontiguousarray(words, dtype=_WORD_DTYPE)
+    if words.shape[-1] == 0:
+        return np.zeros(words.shape[:-1], dtype=np.int64)
+    if _BITWISE_COUNT is not None:
+        return _BITWISE_COUNT(words).sum(axis=-1, dtype=np.int64)
+    counts = _POPCOUNT8[words.view(np.uint8)]
+    return counts.reshape(words.shape[:-1] + (-1,)).sum(axis=-1)
+
+
+def intersection_counts(masks: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """``popcount(masks[k] & mask)`` for every row of ``masks``.
+
+    The packed form of ``dense_masks[:, dense_mask].sum(axis=1)`` — one AND
+    plus a table gather instead of a boolean fancy-index per row.
+    """
+    return popcount(masks & mask)
+
+
+def packed_ones(n_bits: int) -> np.ndarray:
+    """All-ones mask of ``n_bits`` bits (tail bits of the last word zero)."""
+    words = np.full(word_count(n_bits), ~np.uint64(0), dtype=_WORD_DTYPE)
+    tail = n_bits % WORD_BITS
+    if words.size and tail:
+        words[-1] = (np.uint64(1) << np.uint64(tail)) - np.uint64(1)
+    return words
+
+
+class BitMatrix:
+    """A stack of packed bitmasks: ``n_masks`` masks of ``n_bits`` bits each.
+
+    ``words`` has shape ``(n_masks, word_count(n_bits))`` and dtype
+    ``'<u8'``.  In the pipeline's vertical orientation mask ``i`` is item
+    ``i``'s tidset: bit ``t`` is set iff transaction ``t`` contains the
+    item.
+    """
+
+    __slots__ = ("words", "n_bits")
+
+    def __init__(self, words: np.ndarray, n_bits: int) -> None:
+        words = np.ascontiguousarray(words, dtype=_WORD_DTYPE)
+        if words.ndim != 2:
+            raise ValueError("words must be 2-D (n_masks, n_words)")
+        if words.shape[1] != word_count(n_bits):
+            raise ValueError(
+                f"mask of {n_bits} bits needs {word_count(n_bits)} words, "
+                f"got {words.shape[1]}"
+            )
+        self.words = words
+        self.n_bits = int(n_bits)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "BitMatrix":
+        """Pack a boolean ``(n_masks, n_bits)`` matrix row-wise."""
+        dense = np.asarray(dense, dtype=bool)
+        if dense.ndim != 2:
+            raise ValueError("dense must be 2-D")
+        return cls(pack_bits(dense), dense.shape[1])
+
+    @classmethod
+    def vertical(
+        cls, transactions: Sequence[Sequence[int]], n_items: int
+    ) -> "BitMatrix":
+        """Item-major tidset masks over a transaction database.
+
+        Mask ``i`` (of ``n_items``) has bit ``t`` set iff item ``i`` is in
+        transaction ``t`` — the transpose of the dense occurrence matrix,
+        packed.
+        """
+        n_rows = len(transactions)
+        dense = np.zeros((n_items, n_rows), dtype=bool)
+        for row, transaction in enumerate(transactions):
+            if transaction:
+                dense[list(transaction), row] = True
+        return cls.from_dense(dense)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_masks(self) -> int:
+        return self.words.shape[0]
+
+    def popcounts(self) -> np.ndarray:
+        """Per-mask set-bit counts (vertical orientation: item supports)."""
+        return popcount(self.words)
+
+    def mask(self, index: int) -> np.ndarray:
+        """The packed words of one mask (a view, do not mutate)."""
+        return self.words[index]
+
+    def and_reduce(self, indices: Iterable[int]) -> np.ndarray:
+        """AND of the selected masks; the all-ones mask when empty.
+
+        Vertical orientation: the coverage mask of the itemset ``indices``
+        (the empty itemset covers every transaction).
+        """
+        indices = list(indices)
+        if not indices:
+            return packed_ones(self.n_bits)
+        if len(indices) == 1:
+            return self.words[indices[0]].copy()
+        return np.bitwise_and.reduce(self.words[indices], axis=0)
+
+    def support(self, indices: Iterable[int]) -> int:
+        """Popcount of the AND-reduction: the itemset's absolute support."""
+        return int(popcount(self.and_reduce(indices)))
+
+    def to_dense(self) -> np.ndarray:
+        """Unpacked boolean matrix of shape ``(n_masks, n_bits)``."""
+        return unpack_bits(self.words, self.n_bits)
+
+    def __len__(self) -> int:
+        return self.n_masks
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BitMatrix(n_masks={self.n_masks}, n_bits={self.n_bits})"

@@ -1,0 +1,77 @@
+"""Deterministic fan-out for the mining and evaluation hot paths.
+
+The pipeline's natural units of parallelism are embarrassingly parallel
+and order-sensitive only in how results are *merged*: per-class-partition
+mining (feature generation) and per-fold evaluation (cross-validation).
+:func:`parallel_map` runs such a fan-out while keeping the contract of a
+plain loop: results come back in item order and the first in-order
+exception is raised, so a parallel run is observationally equivalent to
+the serial one (modulo wall-clock).
+
+``n_jobs`` follows the familiar convention: ``1`` (or ``None``) means
+serial — the default-equivalent path, no executor involved — and ``-1``
+means one worker per CPU.  Mining partitions use process workers (the
+miners are pure-Python and GIL-bound); fold evaluation uses threads so
+non-picklable pipeline factories (closures) keep working.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, Literal, Sequence, TypeVar
+
+__all__ = ["resolve_n_jobs", "parallel_map"]
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+ExecutorKind = Literal["process", "thread"]
+
+
+def resolve_n_jobs(n_jobs: int | None) -> int:
+    """Normalize an ``n_jobs`` knob to a concrete worker count (>= 1).
+
+    ``None`` and ``1`` mean serial; ``-1`` means ``os.cpu_count()``; any
+    other positive integer is taken literally.
+    """
+    if n_jobs is None:
+        return 1
+    n_jobs = int(n_jobs)
+    if n_jobs == -1:
+        return os.cpu_count() or 1
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be a positive integer or -1, got {n_jobs}")
+    return n_jobs
+
+
+def parallel_map(
+    fn: Callable[[ItemT], ResultT],
+    items: Iterable[ItemT],
+    n_jobs: int | None = 1,
+    executor: ExecutorKind = "process",
+) -> list[ResultT]:
+    """Ordered map over ``items`` with optional process/thread fan-out.
+
+    With ``n_jobs`` resolving to 1 (or a single item) this is exactly
+    ``[fn(item) for item in items]`` — no executor, identical exception
+    behavior.  With more workers, all items are submitted up front and
+    results are collected in submission order; if any call raises, the
+    first exception *in item order* propagates.
+
+    For ``executor="process"``, ``fn`` and the items must be picklable
+    (use module-level functions / :func:`functools.partial`).
+    """
+    items = list(items)
+    workers = min(resolve_n_jobs(n_jobs), len(items))
+    if workers <= 1:
+        return [fn(item) for item in items]
+    if executor == "process":
+        pool_cls: type = ProcessPoolExecutor
+    elif executor == "thread":
+        pool_cls = ThreadPoolExecutor
+    else:
+        raise ValueError(f"executor must be 'process' or 'thread', got {executor!r}")
+    with pool_cls(max_workers=workers) as pool:
+        futures = [pool.submit(fn, item) for item in items]
+        return [future.result() for future in futures]

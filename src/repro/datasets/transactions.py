@@ -14,6 +14,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..core.bitset import BitMatrix, popcount, unpack_bits
 from .schema import Dataset
 
 __all__ = ["ItemCatalog", "TransactionDataset"]
@@ -100,6 +101,11 @@ class TransactionDataset:
         self.n_classes = int(n_classes)
         self.catalog = catalog
         self.name = name
+        # Packed occurrence/label masks, built on first use.  Transactions
+        # and labels are never mutated after construction (subset() returns
+        # a new instance), so the caches stay valid for the object's life.
+        self._item_bits: BitMatrix | None = None
+        self._label_bits: BitMatrix | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -164,28 +170,55 @@ class TransactionDataset:
     # ------------------------------------------------------------------
     # Pattern support utilities (shared by miners, measures and MMRFS)
     # ------------------------------------------------------------------
+    def item_bits(self) -> BitMatrix:
+        """Packed item-major occurrence masks, computed once and cached.
+
+        Mask ``i`` marks (bit per row) the transactions containing item
+        ``i``.  Every support/coverage query on this dataset — mining,
+        contingency stats, MMRFS coverage, design-matrix construction —
+        shares this one structure instead of rebuilding a dense boolean
+        occurrence matrix.
+        """
+        if self._item_bits is None:
+            self._item_bits = BitMatrix.vertical(self.transactions, self.n_items)
+        return self._item_bits
+
+    def label_bits(self) -> BitMatrix:
+        """Packed per-class row masks: mask ``c`` marks rows with label c."""
+        if self._label_bits is None:
+            classes = np.arange(self.n_classes, dtype=self.labels.dtype)
+            dense = self.labels[np.newaxis, :] == classes[:, np.newaxis]
+            self._label_bits = BitMatrix.from_dense(dense)
+        return self._label_bits
+
+    def _valid_items(self, pattern: Iterable[int]) -> list[int] | None:
+        """Pattern items as a list, or None if any item is out of range."""
+        items = [int(i) for i in pattern]
+        if any(i < 0 or i >= self.n_items for i in items):
+            return None
+        return items
+
     def support_count(self, pattern: Iterable[int]) -> int:
         """Absolute support |D_alpha| of a pattern (itemset)."""
-        pattern_set = frozenset(pattern)
-        return sum(1 for t in self.transactions if pattern_set.issubset(t))
+        items = self._valid_items(pattern)
+        if items is None:
+            return 0
+        return self.item_bits().support(items)
 
     def covers(self, pattern: Iterable[int]) -> np.ndarray:
         """Boolean mask over rows: which transactions contain the pattern."""
-        pattern_set = frozenset(pattern)
-        return np.fromiter(
-            (pattern_set.issubset(t) for t in self.transactions),
-            dtype=bool,
-            count=self.n_rows,
-        )
+        items = self._valid_items(pattern)
+        if items is None:
+            return np.zeros(self.n_rows, dtype=bool)
+        return unpack_bits(self.item_bits().and_reduce(items), self.n_rows)
 
     def class_support_counts(self, pattern: Iterable[int]) -> np.ndarray:
         """Per-class absolute support of a pattern, indexed by class label."""
-        mask = self.covers(pattern)
-        if not mask.any():
+        items = self._valid_items(pattern)
+        if items is None:
             return np.zeros(self.n_classes, dtype=np.int64)
-        return np.bincount(self.labels[mask], minlength=self.n_classes).astype(
-            np.int64
-        )
+        cover = self.item_bits().and_reduce(items)
+        return popcount(self.label_bits().words & cover).astype(np.int64)
 
     def __len__(self) -> int:
         return self.n_rows

@@ -86,6 +86,19 @@ class FrequentPatternClassifier:
         set and picked the best model" — and ``classifier`` is ignored.
     inner_folds:
         Inner CV folds for candidate selection.
+    n_jobs:
+        Class partitions to mine concurrently during feature generation
+        (``1`` = serial, ``-1`` = all CPUs); forwarded to
+        :func:`~repro.mining.generation.mine_class_patterns`.  The fitted
+        model is independent of ``n_jobs``.
+
+    Notes
+    -----
+    All of fit's support/coverage computations — mining recounts,
+    contingency stats, MMRFS coverage and the design matrix — share the
+    training set's cached packed occurrence structure
+    (:meth:`~repro.datasets.transactions.TransactionDataset.item_bits`),
+    built once per fit rather than once per stage.
     """
 
     def __init__(
@@ -106,6 +119,7 @@ class FrequentPatternClassifier:
         max_candidates: int | None = 20_000,
         classifier_candidates: list | None = None,
         inner_folds: int = 3,
+        n_jobs: int | None = 1,
     ) -> None:
         self.classifier = classifier if classifier is not None else LinearSVM()
         self.min_support = min_support
@@ -123,6 +137,7 @@ class FrequentPatternClassifier:
         self.max_candidates = max_candidates
         self.classifier_candidates = classifier_candidates
         self.inner_folds = inner_folds
+        self.n_jobs = n_jobs
 
         self.model_: Classifier | None = None
         self.candidate_scores_: list = []
@@ -215,6 +230,7 @@ class FrequentPatternClassifier:
                 miner=self.miner,
                 max_length=self.max_length,
                 max_patterns=self.max_patterns,
+                n_jobs=self.n_jobs,
             )
             self.mined_patterns_ = self._cap_candidates(
                 mined.patterns, transactions

@@ -12,8 +12,8 @@ from typing import Sequence
 
 import numpy as np
 
+from ..core.bitset import BitMatrix
 from ..datasets.transactions import TransactionDataset
-from ..mining.closed import occurrence_matrix
 from ..mining.itemsets import Pattern
 
 __all__ = ["PatternFeaturizer"]
@@ -69,23 +69,34 @@ class PatternFeaturizer:
     def transform(
         self, data: TransactionDataset | Sequence[Sequence[int]]
     ) -> np.ndarray:
-        """Binary design matrix (n_rows, n_features) as float64."""
-        transactions = (
-            data.transactions if isinstance(data, TransactionDataset) else list(data)
-        )
-        matrix = occurrence_matrix(transactions, n_items=self.n_items)
+        """Binary design matrix (n_rows, n_features) as float64.
+
+        Built from packed item bitsets: a :class:`TransactionDataset`
+        contributes its cached masks (shared with mining, stats and MMRFS
+        — one occurrence structure per fit), raw transaction sequences are
+        packed on the fly.  Each pattern column is an AND-reduction over
+        item masks.
+        """
+        if isinstance(data, TransactionDataset) and data.n_items == self.n_items:
+            item_bits = data.item_bits()
+            n_rows = data.n_rows
+        else:
+            transactions = (
+                data.transactions
+                if isinstance(data, TransactionDataset)
+                else list(data)
+            )
+            item_bits = BitMatrix.vertical(transactions, self.n_items)
+            n_rows = len(transactions)
         blocks = []
         if self.include_items:
-            blocks.append(matrix.astype(np.float64))
+            blocks.append(item_bits.to_dense().T.astype(np.float64))
         if self.patterns:
-            pattern_block = np.empty((len(transactions), len(self.patterns)))
-            for column, pattern in enumerate(self.patterns):
-                items = list(pattern.items)
-                if items:
-                    pattern_block[:, column] = matrix[:, items].all(axis=1)
-                else:
-                    pattern_block[:, column] = 1.0
-            blocks.append(pattern_block)
+            pattern_words = np.stack(
+                [item_bits.and_reduce(p.items) for p in self.patterns]
+            )
+            pattern_bits = BitMatrix(pattern_words, n_rows)
+            blocks.append(pattern_bits.to_dense().T.astype(np.float64))
         if not blocks:
-            return np.zeros((len(transactions), 0))
+            return np.zeros((n_rows, 0))
         return np.hstack(blocks)

@@ -13,8 +13,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..core.bitset import popcount
 from ..datasets.transactions import TransactionDataset
-from ..mining.closed import occurrence_matrix
 from ..mining.itemsets import Pattern
 
 __all__ = ["PatternStats", "pattern_stats", "batch_pattern_stats"]
@@ -85,21 +85,21 @@ def batch_pattern_stats(
     patterns: Sequence[Pattern],
     data: TransactionDataset,
 ) -> list[PatternStats]:
-    """Contingency tables for many patterns, sharing one occurrence matrix."""
+    """Contingency tables for many patterns, via the cached packed masks.
+
+    Shares the dataset's item bitsets: each pattern costs one AND-reduction
+    plus ``n_classes`` popcounts, never touching a dense occurrence matrix.
+    """
     if not patterns:
         return []
-    matrix = occurrence_matrix(data.transactions, n_items=data.n_items)
-    class_one_hot = np.zeros((data.n_rows, data.n_classes), dtype=np.int64)
-    class_one_hot[np.arange(data.n_rows), data.labels] = 1
-    class_totals = class_one_hot.sum(axis=0)
+    item_bits = data.item_bits()
+    label_words = data.label_bits().words
+    class_totals = data.class_counts().astype(np.int64)
 
     stats: list[PatternStats] = []
     for pattern in patterns:
-        columns = list(pattern.items)
-        covered = matrix[:, columns].all(axis=1) if columns else np.ones(
-            data.n_rows, dtype=bool
-        )
-        present = class_one_hot[covered].sum(axis=0)
+        cover = item_bits.and_reduce(pattern.items)
+        present = popcount(label_words & cover)
         absent = class_totals - present
         stats.append(
             PatternStats(

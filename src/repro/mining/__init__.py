@@ -7,7 +7,7 @@ from .fpgrowth import fpgrowth
 from .fptree import FPNode, FPTree
 from .generation import mine_class_patterns, recount_supports
 from .gspan import GraphPattern, contains_subgraph, gspan
-from .guards import GuardedMiningReport, guarded_mine
+from .guards import GuardedMiningReport, MiningTimeLimitExceeded, guarded_mine
 from .itemsets import MiningResult, Pattern, PatternBudgetExceeded, canonical
 from .maximal import brute_force_maximal, maximal_frequent
 from .prefixspan import SequencePattern, is_subsequence, prefixspan
@@ -31,6 +31,7 @@ __all__ = [
     "recount_supports",
     "guarded_mine",
     "GuardedMiningReport",
+    "MiningTimeLimitExceeded",
     "gspan",
     "GraphPattern",
     "contains_subgraph",

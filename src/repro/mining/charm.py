@@ -52,6 +52,9 @@ def charm(
         existing = closed.get(tidset)
         if existing is None or len(itemset) > len(existing):
             closed[tidset] = itemset
+        # Record-then-check over *distinct* tidsets (updating a known
+        # tidset's closure never grows the count): trips at budget + 1,
+        # the documented semantics on PatternBudgetExceeded.
         if max_patterns is not None and len(closed) > max_patterns:
             raise PatternBudgetExceeded(max_patterns, len(closed))
 

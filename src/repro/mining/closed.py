@@ -7,8 +7,12 @@ closed itemsets via *prefix-preserving closure extension*, which visits every
 closed frequent itemset exactly once with no duplicate detection and no
 storage of already-found patterns.
 
-The vertical representation is a boolean occurrence matrix (rows x items),
-so tidset intersection and closure computation are numpy column operations.
+The vertical representation is packed: each item carries a uint64 bitset
+over transactions (:class:`repro.core.bitset.BitMatrix`), so tidset
+intersection is a bitwise AND, support is a popcount, and the closure of a
+tidset T is the set of items i with ``popcount(mask_i & T) == |T|`` — one
+vectorized popcount over all item masks per node instead of a dense
+boolean ``matrix[rows].all(axis=0)`` reduction.
 """
 
 from __future__ import annotations
@@ -17,6 +21,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..core.bitset import BitMatrix, packed_ones, popcount
 from .itemsets import MiningResult, Pattern, PatternBudgetExceeded
 
 __all__ = ["closed_fpgrowth", "occurrence_matrix", "brute_force_closed"]
@@ -25,7 +30,12 @@ __all__ = ["closed_fpgrowth", "occurrence_matrix", "brute_force_closed"]
 def occurrence_matrix(
     transactions: Sequence[Sequence[int]], n_items: int | None = None
 ) -> np.ndarray:
-    """Boolean (n_rows, n_items) matrix: cell (t, i) = item i in transaction t."""
+    """Boolean (n_rows, n_items) matrix: cell (t, i) = item i in transaction t.
+
+    The dense counterpart of :meth:`repro.core.bitset.BitMatrix.vertical`;
+    kept for the cold paths (analysis, baselines) and as the reference the
+    bitset kernels are property-tested against.
+    """
     transactions = [tuple(set(t)) for t in transactions]
     if n_items is None:
         n_items = 1 + max((max(t) for t in transactions if t), default=-1)
@@ -51,14 +61,14 @@ def closed_fpgrowth(
     Raises
     ------
     PatternBudgetExceeded
-        If ``max_patterns`` closed patterns would be exceeded.
+        If ``max_patterns`` closed patterns would be exceeded (see the
+        budget semantics documented on the exception).
     """
     if min_support < 1:
         raise ValueError("min_support is an absolute count and must be >= 1")
-    transactions = [tuple(t) for t in transactions]
+    transactions = [tuple(set(t)) for t in transactions]
     n_rows = len(transactions)
-    matrix = occurrence_matrix(transactions)
-    n_items = matrix.shape[1]
+    n_items = 1 + max((max(t) for t in transactions if t), default=-1)
 
     patterns: list[Pattern] = []
 
@@ -70,21 +80,22 @@ def closed_fpgrowth(
     if n_rows == 0 or n_items == 0 or n_rows < min_support:
         return MiningResult(patterns, min_support=min_support, n_rows=n_rows)
 
-    column_counts = matrix.sum(axis=0)
+    item_bits = BitMatrix.vertical(transactions, n_items)
+    column_counts = item_bits.popcounts()
     frequent_items = np.nonzero(column_counts >= min_support)[0]
     if len(frequent_items) == 0:
         return MiningResult(patterns, min_support=min_support, n_rows=n_rows)
 
-    all_rows = np.ones(n_rows, dtype=bool)
-    root_closure = matrix.all(axis=0)  # items present in every transaction
+    all_rows = packed_ones(n_rows)
+    root_closure = column_counts == n_rows  # items present in every transaction
     root_items = np.nonzero(root_closure)[0]
     if len(root_items) and (max_length is None or len(root_items) <= max_length):
         emit(root_items, n_rows)
 
     _expand(
-        matrix=matrix,
+        item_words=item_bits.words,
         closure_mask=root_closure,
-        row_mask=all_rows,
+        row_words=all_rows,
         core_item=-1,
         frequent_items=frequent_items,
         min_support=min_support,
@@ -95,9 +106,9 @@ def closed_fpgrowth(
 
 
 def _expand(
-    matrix: np.ndarray,
+    item_words: np.ndarray,
     closure_mask: np.ndarray,
-    row_mask: np.ndarray,
+    row_words: np.ndarray,
     core_item: int,
     frequent_items: np.ndarray,
     min_support: int,
@@ -107,8 +118,8 @@ def _expand(
     """Prefix-preserving closure extension from one closed itemset.
 
     ``closure_mask`` marks the items of the current closed set P;
-    ``row_mask`` marks its tidset.  For every frequent item i > core_item not
-    in P we compute Y = clo(P ∪ {i}); Y is accepted iff its items below i
+    ``row_words`` is its packed tidset.  For every frequent item i > core_item
+    not in P we compute Y = clo(P ∪ {i}); Y is accepted iff its items below i
     coincide with P's (prefix preservation), which guarantees each closed set
     is generated from exactly one parent.
     """
@@ -116,11 +127,12 @@ def _expand(
         item = int(item)
         if item <= core_item or closure_mask[item]:
             continue
-        new_rows = row_mask & matrix[:, item]
-        support = int(new_rows.sum())
+        new_rows = row_words & item_words[item]
+        support = int(popcount(new_rows))
         if support < min_support:
             continue
-        new_closure = matrix[new_rows].all(axis=0)
+        # clo(P ∪ {i}): items whose tidset contains every row of new_rows.
+        new_closure = popcount(item_words & new_rows) == support
         # Prefix preservation: no item < `item` may join the closure.
         prefix_violation = (new_closure[:item] & ~closure_mask[:item]).any()
         if prefix_violation:
@@ -130,9 +142,9 @@ def _expand(
             continue
         emit(closure_items, support)
         _expand(
-            matrix=matrix,
+            item_words=item_words,
             closure_mask=new_closure,
-            row_mask=new_rows,
+            row_words=new_rows,
             core_item=item,
             frequent_items=frequent_items,
             min_support=min_support,

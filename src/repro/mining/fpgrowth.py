@@ -41,6 +41,8 @@ def fpgrowth(
     patterns: list[Pattern] = []
 
     def emit(items: tuple[int, ...], support: int) -> None:
+        # Record-then-check: trips at budget + 1 (the documented semantics
+        # on PatternBudgetExceeded, identical across all miners).
         patterns.append(Pattern(items=items, support=support))
         if max_patterns is not None and len(patterns) > max_patterns:
             raise PatternBudgetExceeded(max_patterns, len(patterns))

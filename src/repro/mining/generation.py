@@ -9,22 +9,29 @@ supports are re-counted on the *full* training set, which is what the
 measures and MMRFS need.  Single items are excluded here — the classifier
 feature space is ``I ∪ Fs``, with ``I`` always present — so only patterns of
 length >= 2 are returned by default.
+
+The per-partition mining runs are independent, so ``n_jobs > 1`` fans them
+out over process workers (the miners are pure-Python and GIL-bound);
+results are merged in class order, so parallel output is identical to the
+serial default.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Literal, Sequence
+from functools import partial
+from typing import Literal, Sequence
 
+from ..core.parallel import parallel_map
 from ..datasets.transactions import TransactionDataset
-from .closed import closed_fpgrowth, occurrence_matrix
+from .closed import closed_fpgrowth
 from .fpgrowth import fpgrowth
-from .itemsets import MiningResult, Pattern
+from .itemsets import MiningResult, Pattern, PatternBudgetExceeded
 
 __all__ = ["mine_class_patterns", "recount_supports"]
 
 MinerName = Literal["closed", "all"]
 
-_MINERS: dict[str, Callable[..., MiningResult]] = {
+_MINERS = {
     "closed": closed_fpgrowth,
     "all": fpgrowth,
 }
@@ -34,18 +41,32 @@ def recount_supports(
     itemsets: Sequence[tuple[int, ...]],
     data: TransactionDataset,
 ) -> list[Pattern]:
-    """Support of each itemset over the whole dataset (vectorized)."""
+    """Support of each itemset over the whole dataset (packed popcounts)."""
     if not itemsets:
         return []
-    matrix = occurrence_matrix(data.transactions, n_items=data.n_items)
-    patterns = []
-    for items in itemsets:
-        if items:
-            support = int(matrix[:, list(items)].all(axis=1).sum())
-        else:
-            support = data.n_rows
-        patterns.append(Pattern(items=items, support=support))
-    return patterns
+    item_bits = data.item_bits()
+    return [
+        Pattern(items=items, support=item_bits.support(items))
+        for items in itemsets
+    ]
+
+
+def _mine_partition(
+    job: tuple[Sequence[Sequence[int]], int],
+    miner: MinerName,
+    min_length: int,
+    max_length: int | None,
+    max_patterns: int | None,
+) -> list[tuple[int, ...]]:
+    """Mine one class partition; module-level so process pools can pickle it."""
+    transactions, absolute = job
+    result = _MINERS[miner](
+        transactions,
+        min_support=absolute,
+        max_length=max_length,
+        max_patterns=max_patterns,
+    )
+    return [p.items for p in result.patterns if len(p.items) >= min_length]
 
 
 def mine_class_patterns(
@@ -55,6 +76,7 @@ def mine_class_patterns(
     min_length: int = 2,
     max_length: int | None = None,
     max_patterns: int | None = None,
+    n_jobs: int | None = 1,
 ) -> MiningResult:
     """Mine frequent patterns per class partition and merge them.
 
@@ -73,6 +95,10 @@ def mine_class_patterns(
     max_length, max_patterns:
         Optional caps forwarded to the miner (``max_patterns`` applies per
         partition).
+    n_jobs:
+        Class partitions to mine concurrently (process workers); ``1`` is
+        the serial default-equivalent path, ``-1`` uses every CPU.  The
+        merged result is independent of ``n_jobs``.
 
     Returns
     -------
@@ -83,27 +109,37 @@ def mine_class_patterns(
     """
     if not 0.0 < min_support <= 1.0:
         raise ValueError("min_support is relative and must be in (0, 1]")
-    mine = _MINERS[miner]
+    if miner not in _MINERS:
+        raise KeyError(miner)
 
-    merged: set[tuple[int, ...]] = set()
+    jobs = []
     for _, transactions in sorted(data.class_partition().items()):
         if not transactions:
             continue
         absolute = max(1, int(-(-min_support * len(transactions) // 1)))  # ceil
-        result = mine(
-            transactions,
-            min_support=absolute,
+        jobs.append((transactions, absolute))
+
+    partition_itemsets = parallel_map(
+        partial(
+            _mine_partition,
+            miner=miner,
+            min_length=min_length,
             max_length=max_length,
             max_patterns=max_patterns,
-        )
-        merged.update(
-            p.items for p in result.patterns if len(p.items) >= min_length
-        )
-        # The budget bounds the *candidate feature set*, so the merged union
-        # across class partitions must honor it too.
-        if max_patterns is not None and len(merged) > max_patterns:
-            from .itemsets import PatternBudgetExceeded
+        ),
+        jobs,
+        n_jobs=n_jobs,
+        executor="process",
+    )
 
+    merged: set[tuple[int, ...]] = set()
+    for itemsets in partition_itemsets:
+        merged.update(itemsets)
+        # The budget bounds the *candidate feature set*, so the merged union
+        # across class partitions must honor it too.  Bulk update means
+        # `emitted` can land past budget + 1; it stays a strict lower bound
+        # on the true count (see PatternBudgetExceeded).
+        if max_patterns is not None and len(merged) > max_patterns:
             raise PatternBudgetExceeded(max_patterns, len(merged))
 
     patterns = recount_supports(sorted(merged), data)

@@ -3,28 +3,75 @@
 At ``min_sup = 1`` the paper reports that exhaustive enumeration "cannot
 complete in days" (Chess) or yields millions of patterns that break feature
 selection (Waveform: 9,468,109; Letter: 5,147,030).  :func:`guarded_mine`
-reproduces that *outcome* safely: the miner runs under a pattern budget and a
-wall-clock limit, and the report records whether the run finished or blew up.
+reproduces that *outcome* safely: the miner runs under a pattern budget and
+an optional wall-clock limit, and the report records whether the run
+finished or blew up.
 """
 
 from __future__ import annotations
 
+import signal
+import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from .itemsets import MiningResult, PatternBudgetExceeded
 
-__all__ = ["GuardedMiningReport", "guarded_mine"]
+__all__ = ["GuardedMiningReport", "MiningTimeLimitExceeded", "guarded_mine"]
+
+
+class MiningTimeLimitExceeded(RuntimeError):
+    """Raised inside a guarded run when the wall-clock limit expires."""
+
+    def __init__(self, time_limit: float) -> None:
+        self.time_limit = float(time_limit)
+        super().__init__(
+            f"mining exceeded the wall-clock limit of {time_limit:g}s"
+        )
+
+
+@contextmanager
+def _wall_clock_limit(seconds: float | None):
+    """Interrupt the enclosed block after ``seconds`` of wall-clock time.
+
+    Implemented with ``SIGALRM``/``setitimer``, so the limit is best-effort:
+    it only arms on the main thread of platforms that have ``setitimer``
+    (POSIX).  Elsewhere the block runs unguarded — the pattern budget is
+    then the only guard, which keeps :func:`guarded_mine` safe to call from
+    worker threads.
+    """
+    can_arm = (
+        seconds is not None
+        and hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not can_arm:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise MiningTimeLimitExceeded(seconds)
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @dataclass
 class GuardedMiningReport:
     """Outcome of one guarded mining run.
 
-    ``feasible`` is False when the run hit the pattern budget or time limit;
-    ``n_patterns`` then holds the count reached before the guard tripped (a
-    lower bound on the true count).
+    ``feasible`` is False when the run hit the pattern budget or the
+    wall-clock limit; ``n_patterns`` then holds the count reached before the
+    guard tripped (a lower bound on the true count — zero when the timer
+    fired, since an interrupted miner reports no partial count).  ``guard``
+    names which limit tripped (``"budget"`` or ``"time limit"``).
     """
 
     feasible: bool
@@ -32,13 +79,14 @@ class GuardedMiningReport:
     elapsed_seconds: float
     result: MiningResult | None = None
     reason: str = ""
+    guard: str = "budget"
 
     @property
     def pattern_count_display(self) -> str:
         """Rendered like the paper's tables: 'N/A' runs show the bound."""
         if self.feasible:
             return str(self.n_patterns)
-        return f">{self.n_patterns} (budget exceeded)"
+        return f">{self.n_patterns} ({self.guard} exceeded)"
 
 
 def guarded_mine(
@@ -46,9 +94,11 @@ def guarded_mine(
     transactions: Sequence[Sequence[int]],
     min_support: int,
     max_patterns: int,
+    time_limit: float | None = None,
     **miner_kwargs,
 ) -> GuardedMiningReport:
-    """Run ``miner`` under a pattern budget; never raises on blow-up.
+    """Run ``miner`` under a pattern budget and optional wall-clock limit;
+    never raises on blow-up.
 
     Parameters
     ----------
@@ -57,15 +107,20 @@ def guarded_mine(
     max_patterns:
         Enumeration budget; the miner must honor its ``max_patterns`` kwarg
         by raising :class:`PatternBudgetExceeded`.
+    time_limit:
+        Optional wall-clock limit in seconds.  When it fires the run is
+        reported infeasible with a zero pattern lower bound.  Best-effort:
+        armed only on the main thread (see :func:`_wall_clock_limit`).
     """
     start = time.perf_counter()
     try:
-        result = miner(
-            transactions,
-            min_support=min_support,
-            max_patterns=max_patterns,
-            **miner_kwargs,
-        )
+        with _wall_clock_limit(time_limit):
+            result = miner(
+                transactions,
+                min_support=min_support,
+                max_patterns=max_patterns,
+                **miner_kwargs,
+            )
     except PatternBudgetExceeded as exc:
         elapsed = time.perf_counter() - start
         return GuardedMiningReport(
@@ -74,6 +129,17 @@ def guarded_mine(
             elapsed_seconds=elapsed,
             result=None,
             reason=str(exc),
+            guard="budget",
+        )
+    except MiningTimeLimitExceeded as exc:
+        elapsed = time.perf_counter() - start
+        return GuardedMiningReport(
+            feasible=False,
+            n_patterns=0,
+            elapsed_seconds=elapsed,
+            result=None,
+            reason=str(exc),
+            guard="time limit",
         )
     elapsed = time.perf_counter() - start
     return GuardedMiningReport(

@@ -20,11 +20,26 @@ def canonical(items: Iterable[int]) -> tuple[int, ...]:
 
 
 class PatternBudgetExceeded(RuntimeError):
-    """Raised when a miner would emit more patterns than its budget allows.
+    """Raised when a miner emits more patterns than its budget allows.
 
     Used to reproduce the "cannot complete in days" rows of Tables 3-5
     without actually enumerating millions of patterns: the caller learns the
     enumeration blew past the budget and reports the run as infeasible.
+
+    **Budget semantics (shared by every miner).**  A miner checks the
+    budget *after* recording each pattern and raises as soon as its count
+    strictly exceeds ``max_patterns``.  Consequently:
+
+    * a database with exactly ``max_patterns`` patterns mines cleanly;
+    * on a blow-up, ``emitted`` is the count actually reached when the
+      guard tripped — ``budget + 1`` for the single-emission miners
+      (apriori, fpgrowth, closed_fpgrowth, charm), possibly more for
+      bulk merges (:func:`repro.mining.generation.mine_class_patterns`).
+
+    ``emitted`` is therefore always a strict lower bound on the true
+    pattern count, which is exactly what the ``> budget`` rendering of the
+    scalability tables needs.  This behavior is locked in by the
+    regression tests in ``tests/test_mining_generation.py``.
     """
 
     def __init__(self, budget: int, emitted: int | None = None) -> None:
@@ -33,6 +48,12 @@ class PatternBudgetExceeded(RuntimeError):
         super().__init__(
             f"pattern enumeration exceeded the budget of {budget} patterns"
         )
+
+    def __reduce__(self):
+        # Default exception pickling would replay __init__ with the message
+        # string as `budget`; rebuild from the real attributes instead so the
+        # exception survives the process-pool boundary of parallel mining.
+        return (PatternBudgetExceeded, (self.budget, self.emitted))
 
 
 @dataclass(frozen=True)

@@ -16,6 +16,12 @@ and the cover is *correct* if alpha's majority class equals i's label.
 The per-iteration gain update is incremental: selecting beta can only
 *raise* each candidate's max-redundancy, so one vectorized
 ``batch_redundancy`` call per iteration maintains all gains exactly.
+
+Two coverage engines implement the same algorithm: ``"bitset"`` (default)
+keeps every coverage mask packed 64 rows per uint64 word and runs the
+redundancy update as AND + popcount; ``"dense"`` is the original boolean
+matrix path.  Both perform identical floating-point arithmetic, so their
+selections agree bit-for-bit (locked in by tests).
 """
 
 from __future__ import annotations
@@ -24,11 +30,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.bitset import pack_bits, popcount, unpack_bits
 from ..datasets.transactions import TransactionDataset
 from ..measures.contingency import PatternStats, batch_pattern_stats
 from ..mining.closed import occurrence_matrix
 from ..mining.itemsets import Pattern
-from .redundancy import batch_redundancy
+from .redundancy import batch_redundancy, batch_redundancy_packed
 from .relevance import RelevanceMeasure, get_relevance
 
 __all__ = ["SelectedFeature", "SelectionResult", "mmrfs", "top_k_by_relevance"]
@@ -81,6 +88,7 @@ def mmrfs(
     relevance: str | RelevanceMeasure = "information_gain",
     delta: int = 1,
     max_selected: int | None = None,
+    engine: str = "bitset",
 ) -> SelectionResult:
     """Run Algorithm 1 over mined patterns.
 
@@ -99,6 +107,10 @@ def mmrfs(
     max_selected:
         Optional hard cap on |Fs| (the paper leaves this to delta; the cap
         exists for ablations and runaway protection).
+    engine:
+        ``"bitset"`` (default) keeps coverage masks packed and shares the
+        dataset's cached item bitsets; ``"dense"`` is the original boolean
+        matrix path.  Both produce bit-for-bit identical selections.
 
     Returns
     -------
@@ -107,6 +119,8 @@ def mmrfs(
     """
     if delta < 1:
         raise ValueError("delta must be >= 1")
+    if engine not in ("bitset", "dense"):
+        raise ValueError(f"engine must be 'bitset' or 'dense', got {engine!r}")
     score = get_relevance(relevance)
     if not patterns:
         return SelectionResult(
@@ -121,27 +135,75 @@ def mmrfs(
     supports = np.array([s.support for s in stats], dtype=np.int64)
     majority = _majority_classes(stats)
 
-    matrix = occurrence_matrix(data.transactions, n_items=data.n_items)
-    coverage = np.stack(
-        [
-            matrix[:, list(p.items)].all(axis=1)
-            if p.items
-            else np.ones(data.n_rows, dtype=bool)
-            for p in patterns
-        ]
-    )
-    # correct_coverage[k, i]: pattern k covers row i and predicts its label.
-    correct_coverage = coverage & (majority[:, np.newaxis] == data.labels)
-
     n_rows = data.n_rows
     coverage_counts = np.zeros(n_rows, dtype=np.int64)
+
+    if engine == "bitset":
+        item_bits = data.item_bits()
+        coverage_words = np.stack(
+            [item_bits.and_reduce(p.items) for p in patterns]
+        )
+        # correct_words[k]: rows pattern k covers *and* whose label matches
+        # the pattern's majority class — packed.
+        if data.n_classes:
+            correct_words = coverage_words & data.label_bits().words[majority]
+        else:
+            correct_words = np.zeros_like(coverage_words)
+
+        def correct_mask(index: int) -> np.ndarray:
+            return unpack_bits(correct_words[index], n_rows)
+
+        def redundancy_against(index: int) -> np.ndarray:
+            return batch_redundancy_packed(
+                coverage_words,
+                supports,
+                relevances,
+                coverage_words[index],
+                int(supports[index]),
+                float(relevances[index]),
+            )
+
+        def covers_undercovered(index: int) -> bool:
+            under_words = pack_bits(coverage_counts < delta)
+            return int(popcount(correct_words[index] & under_words)) > 0
+
+    else:
+        matrix = occurrence_matrix(data.transactions, n_items=data.n_items)
+        coverage = np.stack(
+            [
+                matrix[:, list(p.items)].all(axis=1)
+                if p.items
+                else np.ones(n_rows, dtype=bool)
+                for p in patterns
+            ]
+        )
+        # correct_coverage[k, i]: pattern k covers row i, predicts its label.
+        correct_coverage = coverage & (majority[:, np.newaxis] == data.labels)
+
+        def correct_mask(index: int) -> np.ndarray:
+            return correct_coverage[index]
+
+        def redundancy_against(index: int) -> np.ndarray:
+            return batch_redundancy(
+                coverage,
+                supports,
+                relevances,
+                coverage[index],
+                int(supports[index]),
+                float(relevances[index]),
+            )
+
+        def covers_undercovered(index: int) -> bool:
+            useful = correct_coverage[index] & (coverage_counts < delta)
+            return bool(useful.any())
+
     max_redundancy = np.zeros(len(patterns), dtype=float)
     available = np.ones(len(patterns), dtype=bool)
     selected: list[SelectedFeature] = []
 
     def select(index: int, gain: float) -> None:
         available[index] = False
-        coverage_counts[correct_coverage[index]] += 1
+        coverage_counts[correct_mask(index)] += 1
         selected.append(
             SelectedFeature(
                 pattern=patterns[index],
@@ -154,18 +216,7 @@ def mmrfs(
         # Update every candidate's max-redundancy in one vectorized pass
         # (unavailable rows are masked at argmax time, so updating them too
         # is cheaper than slicing the coverage matrix).
-        np.maximum(
-            max_redundancy,
-            batch_redundancy(
-                coverage,
-                supports,
-                relevances,
-                coverage[index],
-                int(supports[index]),
-                float(relevances[index]),
-            ),
-            out=max_redundancy,
-        )
+        np.maximum(max_redundancy, redundancy_against(index), out=max_redundancy)
 
     # Line 1-2: seed with the most relevant pattern.
     first = int(np.argmax(relevances))
@@ -183,8 +234,7 @@ def mmrfs(
         if not np.isfinite(gains[best]):
             break
         # Line 5: accept only if it correctly covers an under-covered row.
-        useful = correct_coverage[best] & (coverage_counts < delta)
-        if useful.any():
+        if covers_undercovered(best):
             select(best, gain=float(gains[best]))
         else:
             available[best] = False  # discard: cannot advance coverage

@@ -15,7 +15,14 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["jaccard", "weighted_jaccard_redundancy", "batch_redundancy"]
+from ..core.bitset import intersection_counts
+
+__all__ = [
+    "jaccard",
+    "weighted_jaccard_redundancy",
+    "batch_redundancy",
+    "batch_redundancy_packed",
+]
 
 
 def jaccard(count_a: int, count_b: int, count_both: int) -> float:
@@ -66,6 +73,31 @@ def batch_redundancy(
     if new_support == 0:
         return np.zeros(len(supports), dtype=float)
     joint = coverage[:, new_coverage].sum(axis=1).astype(float)
+    union = supports.astype(float) + float(new_support) - joint
+    with np.errstate(divide="ignore", invalid="ignore"):
+        jaccard_values = np.where(union > 0, joint / union, 0.0)
+    return jaccard_values * np.minimum(relevances, new_relevance)
+
+
+def batch_redundancy_packed(
+    coverage_words: np.ndarray,
+    supports: np.ndarray,
+    relevances: np.ndarray,
+    new_words: np.ndarray,
+    new_support: int,
+    new_relevance: float,
+) -> np.ndarray:
+    """Packed-bitset twin of :func:`batch_redundancy`.
+
+    ``coverage_words`` is the uint64-packed coverage matrix
+    (n_candidates, n_words) and ``new_words`` the packed mask of the newly
+    selected pattern.  The joint counts come from AND + popcount instead of
+    a boolean fancy-index; every arithmetic step past the counts is
+    *identical* to the dense version, so the two paths agree bit-for-bit.
+    """
+    if new_support == 0:
+        return np.zeros(len(supports), dtype=float)
+    joint = intersection_counts(coverage_words, new_words).astype(float)
     union = supports.astype(float) + float(new_support) - joint
     with np.errstate(divide="ignore", invalid="ignore"):
         jaccard_values = np.where(union > 0, joint / union, 0.0)

@@ -1,0 +1,206 @@
+"""Property tests for the packed-bitset engine against dense numpy.
+
+Every kernel — pack/unpack, popcount, intersection, Jaccard redundancy —
+is checked against its ``dtype=bool`` equivalent on random masks,
+including widths that are not multiples of 64 and the all-zero / all-one
+edge rows (appended to every generated matrix so each example exercises
+them).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitset import (
+    WORD_BITS,
+    BitMatrix,
+    intersection_counts,
+    pack_bits,
+    packed_ones,
+    popcount,
+    unpack_bits,
+    word_count,
+)
+from repro.mining.closed import occurrence_matrix
+from repro.selection.redundancy import batch_redundancy, batch_redundancy_packed
+
+#: Widths straddling the word size: 1 word exactly, off-by-one both ways,
+#: multiple words, and a sub-byte width.
+EDGE_WIDTHS = [1, 5, 63, 64, 65, 127, 128, 200]
+
+
+@st.composite
+def bool_matrices(draw):
+    """Random boolean matrices with all-zero and all-one rows appended."""
+    n_bits = draw(st.integers(min_value=1, max_value=200))
+    n_rows = draw(st.integers(min_value=1, max_value=5))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    rng = np.random.default_rng(seed)
+    dense = rng.random((n_rows, n_bits)) < draw(
+        st.floats(min_value=0.0, max_value=1.0)
+    )
+    edges = np.vstack(
+        [np.zeros((1, n_bits), dtype=bool), np.ones((1, n_bits), dtype=bool)]
+    )
+    return np.vstack([dense, edges])
+
+
+class TestPackUnpack:
+    @settings(max_examples=100, deadline=None)
+    @given(dense=bool_matrices())
+    def test_roundtrip(self, dense):
+        packed = pack_bits(dense)
+        assert packed.shape == (dense.shape[0], word_count(dense.shape[1]))
+        assert np.array_equal(unpack_bits(packed, dense.shape[1]), dense)
+
+    @settings(max_examples=100, deadline=None)
+    @given(dense=bool_matrices())
+    def test_tail_bits_are_zero(self, dense):
+        """The packed invariant: bits past n_bits in the last word are 0."""
+        packed = pack_bits(dense)
+        full = unpack_bits(packed, packed.shape[1] * WORD_BITS)
+        assert not full[:, dense.shape[1]:].any()
+
+    @pytest.mark.parametrize("width", EDGE_WIDTHS)
+    def test_word_boundaries(self, width, rng):
+        dense = rng.random((3, width)) < 0.5
+        assert np.array_equal(unpack_bits(pack_bits(dense), width), dense)
+
+    def test_one_dimensional_mask(self, rng):
+        mask = rng.random(70) < 0.5
+        packed = pack_bits(mask)
+        assert packed.shape == (2,)
+        assert np.array_equal(unpack_bits(packed, 70), mask)
+
+    def test_zero_width(self):
+        packed = pack_bits(np.zeros((2, 0), dtype=bool))
+        assert packed.shape == (2, 0)
+        assert np.array_equal(popcount(packed), np.zeros(2, dtype=np.int64))
+
+
+class TestPopcount:
+    @settings(max_examples=100, deadline=None)
+    @given(dense=bool_matrices())
+    def test_matches_dense_sum(self, dense):
+        assert np.array_equal(
+            popcount(pack_bits(dense)), dense.sum(axis=1).astype(np.int64)
+        )
+
+    @pytest.mark.parametrize("width", EDGE_WIDTHS)
+    def test_all_ones_row(self, width):
+        ones = np.ones((1, width), dtype=bool)
+        assert popcount(pack_bits(ones))[0] == width
+        assert int(popcount(packed_ones(width))) == width
+
+    def test_scalar_for_single_mask(self, rng):
+        mask = rng.random(100) < 0.3
+        assert int(popcount(pack_bits(mask))) == int(mask.sum())
+
+
+class TestIntersection:
+    @settings(max_examples=100, deadline=None)
+    @given(dense=bool_matrices())
+    def test_and_matches_dense(self, dense):
+        packed = pack_bits(dense)
+        reference = dense[0]
+        joint = packed & packed[0]
+        assert np.array_equal(
+            unpack_bits(joint, dense.shape[1]), dense & reference
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(dense=bool_matrices())
+    def test_intersection_counts_match_dense(self, dense):
+        packed = pack_bits(dense)
+        expected = (dense & dense[-1]).sum(axis=1)
+        assert np.array_equal(intersection_counts(packed, packed[-1]), expected)
+
+    @settings(max_examples=100, deadline=None)
+    @given(dense=bool_matrices())
+    def test_and_reduce_matches_dense_all(self, dense):
+        matrix = BitMatrix.from_dense(dense)
+        indices = list(range(dense.shape[0]))
+        assert np.array_equal(
+            unpack_bits(matrix.and_reduce(indices), matrix.n_bits),
+            dense.all(axis=0),
+        )
+
+    def test_and_reduce_empty_is_all_ones(self):
+        matrix = BitMatrix.from_dense(np.zeros((3, 70), dtype=bool))
+        assert np.array_equal(
+            unpack_bits(matrix.and_reduce([]), 70), np.ones(70, dtype=bool)
+        )
+        assert matrix.support([]) == 70
+
+
+class TestJaccardKernel:
+    @settings(max_examples=100, deadline=None)
+    @given(dense=bool_matrices(), seed=st.integers(0, 2**32 - 1))
+    def test_packed_redundancy_matches_dense(self, dense, seed):
+        """The packed Jaccard-redundancy kernel is bit-for-bit the dense one."""
+        rng = np.random.default_rng(seed)
+        supports = dense.sum(axis=1).astype(np.int64)
+        relevances = rng.random(dense.shape[0])
+        packed = pack_bits(dense)
+        for reference in range(dense.shape[0]):
+            dense_result = batch_redundancy(
+                dense,
+                supports,
+                relevances,
+                dense[reference],
+                int(supports[reference]),
+                float(relevances[reference]),
+            )
+            packed_result = batch_redundancy_packed(
+                packed,
+                supports,
+                relevances,
+                packed[reference],
+                int(supports[reference]),
+                float(relevances[reference]),
+            )
+            assert np.array_equal(dense_result, packed_result)
+
+
+class TestBitMatrix:
+    def test_vertical_is_transposed_occurrence_matrix(self, tiny_transactions):
+        dense = occurrence_matrix(
+            tiny_transactions.transactions, n_items=tiny_transactions.n_items
+        )
+        vertical = BitMatrix.vertical(
+            tiny_transactions.transactions, tiny_transactions.n_items
+        )
+        assert np.array_equal(vertical.to_dense(), dense.T)
+        assert np.array_equal(vertical.popcounts(), dense.sum(axis=0))
+
+    def test_dataset_cache_is_reused(self, tiny_transactions):
+        assert tiny_transactions.item_bits() is tiny_transactions.item_bits()
+        assert tiny_transactions.label_bits() is tiny_transactions.label_bits()
+
+    def test_covers_matches_naive_subset_check(self, planted_transactions):
+        data = planted_transactions
+        pattern = data.transactions[0][:2]
+        expected = np.fromiter(
+            (set(pattern).issubset(t) for t in data.transactions),
+            dtype=bool,
+            count=data.n_rows,
+        )
+        assert np.array_equal(data.covers(pattern), expected)
+        assert data.support_count(pattern) == int(expected.sum())
+
+    def test_covers_out_of_range_items_is_empty(self, tiny_transactions):
+        mask = tiny_transactions.covers((0, tiny_transactions.n_items + 5))
+        assert not mask.any()
+        assert tiny_transactions.support_count((tiny_transactions.n_items,)) == 0
+
+    def test_rejects_mismatched_words(self):
+        with pytest.raises(ValueError):
+            BitMatrix(np.zeros((2, 3), dtype=np.uint64), n_bits=64)
+
+    def test_class_support_counts_match_bincount(self, planted_transactions):
+        data = planted_transactions
+        pattern = data.transactions[0][:2]
+        mask = data.covers(pattern)
+        expected = np.bincount(data.labels[mask], minlength=data.n_classes)
+        assert np.array_equal(data.class_support_counts(pattern), expected)

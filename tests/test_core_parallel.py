@@ -1,0 +1,120 @@
+"""Tests for the fan-out helper and the parallel mining/CV paths.
+
+The contract under test: with any ``n_jobs``, parallel runs return exactly
+what the serial default-equivalent path returns — same values, same order,
+same exceptions.
+"""
+
+import pytest
+
+from repro.core.parallel import parallel_map, resolve_n_jobs
+from repro.eval import cross_validate_pipeline
+from repro.features import FrequentPatternClassifier
+from repro.mining import PatternBudgetExceeded, mine_class_patterns
+
+
+def _double(x):
+    return 2 * x
+
+
+def _raise_on_two(x):
+    if x == 2:
+        raise ValueError("two")
+    return x
+
+
+class TestResolveNJobs:
+    def test_serial_defaults(self):
+        assert resolve_n_jobs(None) == 1
+        assert resolve_n_jobs(1) == 1
+
+    def test_explicit_count(self):
+        assert resolve_n_jobs(4) == 4
+
+    def test_all_cpus(self):
+        assert resolve_n_jobs(-1) >= 1
+
+    @pytest.mark.parametrize("bad", [0, -2, -100])
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(ValueError):
+            resolve_n_jobs(bad)
+
+
+class TestParallelMap:
+    @pytest.mark.parametrize("executor", ["process", "thread"])
+    @pytest.mark.parametrize("n_jobs", [1, 2])
+    def test_order_preserved(self, executor, n_jobs):
+        items = list(range(10))
+        assert parallel_map(_double, items, n_jobs=n_jobs, executor=executor) == [
+            2 * i for i in items
+        ]
+
+    def test_empty_items(self):
+        assert parallel_map(_double, [], n_jobs=4) == []
+
+    @pytest.mark.parametrize("executor", ["process", "thread"])
+    def test_first_in_order_exception_propagates(self, executor):
+        with pytest.raises(ValueError, match="two"):
+            parallel_map(_raise_on_two, [0, 1, 2, 3], n_jobs=2, executor=executor)
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_map(_double, [1, 2], n_jobs=2, executor="fibers")
+
+
+class TestParallelMining:
+    def test_parallel_equals_serial(self, planted_transactions):
+        serial = mine_class_patterns(planted_transactions, min_support=0.15)
+        parallel = mine_class_patterns(
+            planted_transactions, min_support=0.15, n_jobs=2
+        )
+        assert serial.patterns == parallel.patterns
+        assert serial.min_support == parallel.min_support
+
+    def test_parallel_equals_serial_all_miner(self, tiny_transactions):
+        serial = mine_class_patterns(tiny_transactions, min_support=0.3, miner="all")
+        parallel = mine_class_patterns(
+            tiny_transactions, min_support=0.3, miner="all", n_jobs=-1
+        )
+        assert serial.patterns == parallel.patterns
+
+    def test_budget_exception_crosses_process_boundary(self, planted_transactions):
+        """PatternBudgetExceeded must pickle intact through the pool."""
+        with pytest.raises(PatternBudgetExceeded) as excinfo:
+            mine_class_patterns(
+                planted_transactions,
+                min_support=0.05,
+                max_length=4,
+                max_patterns=20,
+                n_jobs=2,
+            )
+        assert excinfo.value.budget == 20
+        assert excinfo.value.emitted > 20
+
+
+class TestParallelCrossValidation:
+    def test_parallel_equals_serial(self, planted_transactions):
+        def factory():
+            return FrequentPatternClassifier(
+                min_support=0.3, delta=1, max_length=3
+            )
+
+        serial = cross_validate_pipeline(
+            factory, planted_transactions, n_folds=3, seed=0
+        )
+        parallel = cross_validate_pipeline(
+            factory, planted_transactions, n_folds=3, seed=0, n_jobs=2
+        )
+        assert serial.folds == parallel.folds
+
+    def test_pipeline_n_jobs_does_not_change_model(self, planted_transactions):
+        serial = FrequentPatternClassifier(min_support=0.3, delta=1, n_jobs=1)
+        fanout = FrequentPatternClassifier(min_support=0.3, delta=1, n_jobs=2)
+        serial.fit(planted_transactions)
+        fanout.fit(planted_transactions)
+        assert serial.mined_patterns_ == fanout.mined_patterns_
+        assert serial.selected_patterns == fanout.selected_patterns
+        assert (
+            serial.predict(planted_transactions)
+            == fanout.predict(planted_transactions)
+        ).all()

@@ -1,15 +1,22 @@
 """Tests for per-class feature generation and guarded mining."""
 
+import time
+
 import pytest
 
 from repro.mining import (
+    MiningTimeLimitExceeded,
     PatternBudgetExceeded,
+    apriori,
+    charm,
     closed_fpgrowth,
     fpgrowth,
     guarded_mine,
     mine_class_patterns,
     recount_supports,
 )
+
+ALL_MINERS = [apriori, fpgrowth, closed_fpgrowth, charm]
 
 
 class TestMineClassPatterns:
@@ -98,6 +105,97 @@ class TestGuardedMine:
             max_patterns=100_000,
         )
         assert report.elapsed_seconds >= 0.0
+
+
+class TestBudgetSemantics:
+    """Locks in the record-then-check contract documented on
+    :class:`PatternBudgetExceeded`: every miner mines cleanly when the
+    true pattern count equals the budget, and trips at exactly
+    ``budget + 1`` when it does not fit."""
+
+    @pytest.mark.parametrize("miner", ALL_MINERS)
+    def test_exact_budget_is_feasible(self, miner, tiny_transactions):
+        transactions = tiny_transactions.transactions
+        unbounded = guarded_mine(
+            miner, transactions, min_support=2, max_patterns=1_000_000
+        )
+        assert unbounded.feasible
+        exact = guarded_mine(
+            miner, transactions, min_support=2,
+            max_patterns=unbounded.n_patterns,
+        )
+        assert exact.feasible
+        assert exact.n_patterns == unbounded.n_patterns
+        assert exact.result.as_dict() == unbounded.result.as_dict()
+
+    @pytest.mark.parametrize("miner", ALL_MINERS)
+    def test_trips_at_budget_plus_one(self, miner, tiny_transactions):
+        transactions = tiny_transactions.transactions
+        unbounded = guarded_mine(
+            miner, transactions, min_support=2, max_patterns=1_000_000
+        )
+        budget = unbounded.n_patterns - 1
+        assert budget >= 1
+        report = guarded_mine(
+            miner, transactions, min_support=2, max_patterns=budget
+        )
+        assert not report.feasible
+        assert report.result is None
+        assert report.guard == "budget"
+        assert report.n_patterns == budget + 1
+        assert report.n_patterns <= unbounded.n_patterns
+
+    @pytest.mark.parametrize("miner", ALL_MINERS)
+    def test_emitted_is_lower_bound(self, miner, tiny_transactions):
+        transactions = tiny_transactions.transactions
+        report = guarded_mine(
+            miner, transactions, min_support=1, max_patterns=10
+        )
+        assert not report.feasible
+        true_count = len(miner(transactions, 1))
+        assert 10 < report.n_patterns <= true_count
+        assert report.pattern_count_display.startswith(f">{report.n_patterns}")
+
+
+def _sleepy_miner(transactions, min_support, max_patterns=None):
+    """A miner that never finishes — only the wall-clock guard stops it."""
+    while True:
+        time.sleep(0.01)
+
+
+class TestWallClockGuard:
+    def test_slow_miner_reported_infeasible(self, tiny_transactions):
+        start = time.perf_counter()
+        report = guarded_mine(
+            _sleepy_miner,
+            tiny_transactions.transactions,
+            min_support=2,
+            max_patterns=100,
+            time_limit=0.2,
+        )
+        elapsed = time.perf_counter() - start
+        assert not report.feasible
+        assert report.result is None
+        assert report.guard == "time limit"
+        assert report.n_patterns == 0
+        assert "time limit" in report.pattern_count_display
+        assert elapsed < 5.0
+
+    def test_fast_run_unaffected_by_limit(self, tiny_transactions):
+        report = guarded_mine(
+            fpgrowth,
+            tiny_transactions.transactions,
+            min_support=3,
+            max_patterns=100_000,
+            time_limit=30.0,
+        )
+        assert report.feasible
+        assert report.guard == "budget"
+
+    def test_exception_carries_limit(self):
+        exc = MiningTimeLimitExceeded(1.5)
+        assert exc.time_limit == 1.5
+        assert "1.5" in str(exc)
 
 
 class TestMergedBudget:

@@ -170,6 +170,54 @@ class TestMMRFS:
         assert chosen.count((0, 1)) <= 1 or len(chosen) <= 2
 
 
+class TestEngineParity:
+    """The packed-bitset engine must be *bit-for-bit* the dense engine:
+    same patterns in the same order, with exactly equal floats."""
+
+    @pytest.fixture(scope="class", params=["tiny", "planted"])
+    def workload(self, request, tiny_transactions, planted_transactions):
+        data = {
+            "tiny": tiny_transactions, "planted": planted_transactions
+        }[request.param]
+        min_support = 0.3 if request.param == "tiny" else 0.2
+        mined = mine_class_patterns(data, min_support=min_support)
+        return data, mined.patterns
+
+    @pytest.mark.parametrize("relevance", ["information_gain", "fisher"])
+    @pytest.mark.parametrize("delta", [1, 3])
+    def test_bitset_matches_dense_exactly(self, workload, relevance, delta):
+        data, patterns = workload
+        bitset = mmrfs(
+            patterns, data, relevance=relevance, delta=delta, engine="bitset"
+        )
+        dense = mmrfs(
+            patterns, data, relevance=relevance, delta=delta, engine="dense"
+        )
+        assert len(bitset) == len(dense)
+        for b, d in zip(bitset.selected, dense.selected):
+            assert b.pattern == d.pattern
+            assert b.order == d.order
+            # Exact equality, not approx: the packed kernel is required to
+            # perform the same float arithmetic as the dense one.
+            assert b.relevance == d.relevance
+            assert b.gain == d.gain
+        assert np.array_equal(bitset.coverage_counts, dense.coverage_counts)
+        assert bitset.fully_covered == dense.fully_covered
+        assert bitset.considered == dense.considered
+
+    def test_default_engine_is_bitset(self, workload):
+        data, patterns = workload
+        default = mmrfs(patterns, data, delta=2)
+        explicit = mmrfs(patterns, data, delta=2, engine="bitset")
+        assert [f.pattern for f in default.selected] == [
+            f.pattern for f in explicit.selected
+        ]
+
+    def test_unknown_engine_rejected(self, planted_transactions):
+        with pytest.raises(ValueError, match="engine"):
+            mmrfs([], planted_transactions, delta=1, engine="simd")
+
+
 class TestTopK:
     def test_returns_k_highest(self, planted_transactions):
         mined = mine_class_patterns(planted_transactions, min_support=0.2)
