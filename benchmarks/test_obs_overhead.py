@@ -1,0 +1,131 @@
+"""Overhead bound for disabled instrumentation, plus the traced-run report.
+
+The obs layer's contract is "off by default, near-zero cost": every hook on
+a hot path is one module-global read plus a ``None`` check.  This bench
+makes that claim quantitative on a real pipeline workload:
+
+1. run the full fit/select/evaluate workload with instrumentation
+   *enabled* and count ``n_ops`` — how many instrumentation operations
+   (span finishes, counter adds, series appends) the workload triggers;
+2. micro-time the *disabled* hook (the exact call the hot paths make with
+   no session installed) to get a per-hook cost;
+3. bound the disabled-path overhead as ``n_ops x per_hook_cost`` and
+   assert it stays under 3% of the workload's wall clock.
+
+The bound is conservative: it charges every enabled-mode operation at the
+disabled-hook price, although many guards sit on branches that also do
+real work.  A regression that puts allocation or locking on the disabled
+path (or a hook inside a per-row loop) blows the bound immediately.
+
+The same run writes ``BENCH_obs_overhead.json`` using the trace schema's
+rollup shape, so the benchmark artifacts share the per-phase vocabulary
+of ``--trace`` files.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.datasets import TransactionDataset, load_uci
+from repro.features import FrequentPatternClassifier
+from repro.obs import core as obs_core
+from repro.obs import phase_rollup
+from repro.obs.core import session
+
+#: Maximum tolerated disabled-instrumentation overhead (fraction of runtime).
+OVERHEAD_BUDGET = 0.03
+
+_REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs_overhead.json"
+
+
+def _workload(data: TransactionDataset) -> None:
+    pipeline = FrequentPatternClassifier(
+        min_support=0.15, delta=2, max_length=4, n_jobs=1
+    )
+    pipeline.fit(data)
+    pipeline.predict(data)
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _disabled_hook_cost() -> float:
+    """Seconds per disabled-path hook call (no session installed)."""
+    assert obs_core.active() is None
+    calls = 200_000
+    start = time.perf_counter()
+    for _ in range(calls):
+        obs_core.add("bench.counter", 1)
+    elapsed = time.perf_counter() - start
+    return elapsed / calls
+
+
+def test_disabled_overhead_under_budget(report_lines):
+    data = TransactionDataset.from_dataset(load_uci("austral", scale=0.5))
+    data.item_bits()  # warm the shared cache outside the timed region
+
+    disabled_time = _best_of(lambda: _workload(data))
+
+    with session() as sess:
+        enabled_time = _best_of(lambda: _workload(data))
+        n_ops = sess.n_ops
+        phases = phase_rollup(sess.spans)
+        counters = sess.counters
+
+    per_hook = _disabled_hook_cost()
+    bound = n_ops * per_hook
+    overhead_fraction = bound / disabled_time
+
+    report = {
+        "benchmark": "obs_overhead",
+        "workload": "FrequentPatternClassifier fit+predict, austral @ 0.5",
+        "disabled_wall_s": round(disabled_time, 6),
+        "enabled_wall_s": round(enabled_time, 6),
+        "instrumentation_ops": n_ops,
+        "disabled_hook_cost_ns": round(per_hook * 1e9, 2),
+        "disabled_overhead_bound_s": round(bound, 6),
+        "disabled_overhead_fraction": round(overhead_fraction, 6),
+        "budget_fraction": OVERHEAD_BUDGET,
+        "phases": phases,
+        "counters": counters,
+    }
+    _REPORT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    report_lines.append(
+        "disabled-instrumentation overhead (bound = ops x per-hook cost)\n"
+        f"  workload disabled {1e3 * disabled_time:8.2f} ms   "
+        f"enabled {1e3 * enabled_time:8.2f} ms\n"
+        f"  {n_ops} ops x {per_hook * 1e9:.0f} ns = "
+        f"{1e3 * bound:.3f} ms bound "
+        f"({100 * overhead_fraction:.3f}% of runtime, budget "
+        f"{100 * OVERHEAD_BUDGET:.0f}%)\n"
+        f"  wrote {_REPORT_PATH.name}"
+    )
+
+    assert overhead_fraction < OVERHEAD_BUDGET, (
+        f"disabled instrumentation overhead bound {100 * overhead_fraction:.2f}% "
+        f"exceeds the {100 * OVERHEAD_BUDGET:.0f}% budget "
+        f"({n_ops} ops at {per_hook * 1e9:.0f} ns each over "
+        f"{disabled_time:.3f}s of work)"
+    )
+
+
+def test_enabled_mode_counts_real_work():
+    """Sanity: the enabled run actually records the pipeline's hot paths
+    (otherwise the overhead bound above would be vacuously tiny)."""
+    data = TransactionDataset.from_dataset(load_uci("austral", scale=0.3))
+    with session() as sess:
+        _workload(data)
+    counters = sess.counters
+    assert counters["mining.closed.patterns"] > 0
+    assert counters["selection.mmrfs.gain_evaluations"] > 0
+    assert counters["bitset.popcount_calls"] > 0
+    assert sess.n_ops > 100

@@ -15,6 +15,13 @@ Commands
     Regenerate one of the paper's tables (1-5).
 ``figure``
     Regenerate one of the paper's figures (1-3) as text series.
+``report``
+    Validate and summarize a JSONL trace written by ``--trace``.
+
+Every experiment command accepts ``--trace FILE``: the run then executes
+inside an instrumentation session (:mod:`repro.obs`) and writes a JSONL
+trace — run manifest first, then spans/counters/series/events, then a
+per-phase rollup — which ``repro report FILE`` renders as a summary.
 """
 
 from __future__ import annotations
@@ -32,20 +39,48 @@ __all__ = ["main", "build_parser"]
 def _load_transactions(source: str, scale: float) -> TransactionDataset:
     """A built-in dataset name, or a path to a .csv/.arff file."""
     if source in available_datasets():
-        return TransactionDataset.from_dataset(load_uci(source, scale=scale))
-    path = Path(source)
-    if not path.exists():
-        raise SystemExit(
-            f"unknown dataset {source!r}: not a built-in name "
-            f"({', '.join(available_datasets())}) and no such file"
-        )
-    if path.suffix.lower() == ".arff":
-        from .io import read_arff
+        data = TransactionDataset.from_dataset(load_uci(source, scale=scale))
+    else:
+        path = Path(source)
+        if not path.exists():
+            raise SystemExit(
+                f"unknown dataset {source!r}: not a built-in name "
+                f"({', '.join(available_datasets())}) and no such file"
+            )
+        if path.suffix.lower() == ".arff":
+            from .io import read_arff
 
-        return TransactionDataset.from_dataset(read_arff(path))
-    from .io import read_csv
+            data = TransactionDataset.from_dataset(read_arff(path))
+        else:
+            from .io import read_csv
 
-    return TransactionDataset.from_dataset(read_csv(path, name=path.stem))
+            data = TransactionDataset.from_dataset(read_csv(path, name=path.stem))
+    _annotate_manifest(data, source=source, scale=scale)
+    return data
+
+
+def _annotate_manifest(
+    data: TransactionDataset, source: str, scale: float
+) -> None:
+    """Record the loaded dataset (name, shape, content hash) in the active
+    session's manifest, so traces pin down exactly what data the run saw."""
+    from .obs import core as _obs
+
+    session = _obs.active()
+    if session is None:
+        return
+    session.annotate_manifest(
+        "datasets",
+        {
+            "name": data.name,
+            "source": source,
+            "scale": scale,
+            "rows": data.n_rows,
+            "items": data.n_items,
+            "classes": data.n_classes,
+            "content_hash": data.content_hash(),
+        },
+    )
 
 
 def _cmd_datasets(args: argparse.Namespace) -> int:
@@ -191,6 +226,22 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .obs import load_trace, render_report, validate_file
+
+    path = Path(args.trace_file)
+    if not path.exists():
+        raise SystemExit(f"no such trace file: {path}")
+    errors = validate_file(path)
+    if errors:
+        print(f"{path}: {len(errors)} schema violation(s)", file=sys.stderr)
+        for error in errors:
+            print(f"  {error}", file=sys.stderr)
+        return 1
+    print(render_report(load_trace(path)))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -227,14 +278,28 @@ def build_parser() -> argparse.ArgumentParser:
             help="parallel workers (1 = serial, -1 = all CPUs)",
         )
 
+    def add_trace(sub):
+        sub.add_argument(
+            "--trace", default=None, metavar="FILE",
+            help="run instrumented and write a JSONL trace here "
+                 "(summarize with 'repro report FILE')",
+        )
+        sub.add_argument(
+            "--trace-memory", action="store_true", dest="trace_memory",
+            help="with --trace, also record Python peak memory per span "
+                 "(tracemalloc; slower)",
+        )
+
     mine = commands.add_parser("mine", help="mine closed frequent patterns")
     add_common(mine)
     mine.add_argument("--miner", choices=("closed", "all"), default="closed")
     mine.add_argument("--output", help="write patterns JSON here")
+    add_trace(mine)
     mine.set_defaults(handler=_cmd_mine)
 
     select = commands.add_parser("select", help="run MMRFS feature selection")
     add_common(select)
+    add_trace(select)
     select.add_argument("--delta", type=int, default=3)
     select.add_argument(
         "--relevance", choices=("information_gain", "fisher", "chi2"),
@@ -254,6 +319,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=["Item_All", "Pat_All", "Pat_FS"],
     )
     add_jobs(evaluate)
+    add_trace(evaluate)
     evaluate.set_defaults(handler=_cmd_evaluate)
 
     table = commands.add_parser("table", help="regenerate a paper table")
@@ -262,6 +328,7 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument("--folds", type=int, default=3)
     table.add_argument("--scale", type=float, default=0.5)
     table.add_argument("--budget", type=int, default=150_000)
+    add_trace(table)
     table.set_defaults(handler=_cmd_table)
 
     figure = commands.add_parser("figure", help="regenerate a paper figure")
@@ -270,14 +337,45 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--scale", type=float, default=0.5)
     figure.add_argument("--min-support", type=float, default=0.1,
                         dest="min_support")
+    add_trace(figure)
     figure.set_defaults(handler=_cmd_figure)
 
+    report = commands.add_parser(
+        "report", help="validate and summarize a JSONL trace"
+    )
+    report.add_argument("trace_file", help="trace written by --trace")
+    report.set_defaults(handler=_cmd_report)
+
     return parser
+
+
+def _run_traced(args: argparse.Namespace, argv: list[str] | None) -> int:
+    """Execute a handler inside an instrumentation session, then write the
+    JSONL trace (manifest + spans + counters + rollup) to ``args.trace``."""
+    from . import obs
+
+    with obs.session(trace_memory=getattr(args, "trace_memory", False)) as sess:
+        sess.manifest.update(
+            obs.build_manifest(
+                command=args.command,
+                config=vars(args),
+                seed=getattr(args, "seed", None),
+                argv=argv,
+            )
+        )
+        with obs.span(f"cli.{args.command}") as root:
+            status = args.handler(args)
+            root.set(exit_status=status)
+    obs.write_trace(args.trace, sess)
+    print(f"trace written to {args.trace}", file=sys.stderr)
+    return status
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "trace", None):
+        return _run_traced(args, argv)
     return args.handler(args)
 
 

@@ -28,6 +28,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..obs import core as _obs
+
 __all__ = [
     "WORD_BITS",
     "BitMatrix",
@@ -89,6 +91,12 @@ def popcount(words: np.ndarray) -> np.ndarray:
     yields ``m`` counts.
     """
     words = np.ascontiguousarray(words, dtype=_WORD_DTYPE)
+    session = _obs._ACTIVE
+    if session is not None:
+        # Kernel-invocation count and popcount volume (words scanned); the
+        # disabled path above this line costs one global read + None test.
+        session.add("bitset.popcount_calls", 1)
+        session.add("bitset.popcount_words", int(words.size))
     if words.shape[-1] == 0:
         return np.zeros(words.shape[:-1], dtype=np.int64)
     if _BITWISE_COUNT is not None:
@@ -103,6 +111,8 @@ def intersection_counts(masks: np.ndarray, mask: np.ndarray) -> np.ndarray:
     The packed form of ``dense_masks[:, dense_mask].sum(axis=1)`` — one AND
     plus a table gather instead of a boolean fancy-index per row.
     """
+    if _obs._ACTIVE is not None:
+        _obs._ACTIVE.add("bitset.intersection_calls", 1)
     return popcount(masks & mask)
 
 
@@ -184,6 +194,8 @@ class BitMatrix:
         (the empty itemset covers every transaction).
         """
         indices = list(indices)
+        if _obs._ACTIVE is not None:
+            _obs._ACTIVE.add("bitset.and_reduce_calls", 1)
         if not indices:
             return packed_ones(self.n_bits)
         if len(indices) == 1:

@@ -13,6 +13,18 @@ serial — the default-equivalent path, no executor involved — and ``-1``
 means one worker per CPU.  Mining partitions use process workers (the
 miners are pure-Python and GIL-bound); fold evaluation uses threads so
 non-picklable pipeline factories (closures) keep working.
+
+Instrumentation (:mod:`repro.obs`) is fan-out aware: with a session
+active, process workers record into a fresh per-worker session whose
+export rides back with each result and is merged — re-parented under the
+launching span — in submission order, and thread workers adopt the
+launching span as their parent directly.  With no session active the
+submitted payloads are exactly the bare ``(fn, item)`` calls of before.
+
+On platforms whose process pools are unusable (no working semaphore
+support — some sandboxes and WebAssembly builds), a requested process
+fan-out degrades to the serial path with a :class:`RuntimeWarning` on the
+obs event channel rather than failing or silently diverging.
 """
 
 from __future__ import annotations
@@ -21,7 +33,9 @@ import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Literal, Sequence, TypeVar
 
-__all__ = ["resolve_n_jobs", "parallel_map"]
+from ..obs import core as _obs
+
+__all__ = ["resolve_n_jobs", "parallel_map", "process_pool_available"]
 
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
@@ -45,6 +59,32 @@ def resolve_n_jobs(n_jobs: int | None) -> int:
     return n_jobs
 
 
+def process_pool_available() -> bool:
+    """True when this platform can actually run a ProcessPoolExecutor.
+
+    ``concurrent.futures`` needs working multiprocessing synchronization
+    primitives; importing ``multiprocessing.synchronize`` is the standard
+    probe (it raises ImportError where ``sem_open`` is unimplemented).
+    """
+    try:
+        import multiprocessing.synchronize  # noqa: F401
+    except ImportError:  # pragma: no cover - platform-dependent
+        return False
+    return True
+
+
+def _call_with_worker_obs(payload: tuple) -> tuple:
+    """Run one fan-out item in a process worker under a fresh obs session.
+
+    Module-level so process pools can pickle it.  Returns the result
+    paired with the worker session's export for the parent to absorb.
+    """
+    fn, item = payload
+    with _obs.worker_session() as worker:
+        result = fn(item)
+    return result, worker.export()
+
+
 def parallel_map(
     fn: Callable[[ItemT], ResultT],
     items: Iterable[ItemT],
@@ -64,6 +104,14 @@ def parallel_map(
     """
     items = list(items)
     workers = min(resolve_n_jobs(n_jobs), len(items))
+    if executor == "process" and workers > 1 and not process_pool_available():
+        _obs.warn(
+            f"n_jobs={n_jobs} requested but process pools are unavailable on "
+            "this platform; running serially",
+            requested_jobs=int(n_jobs) if n_jobs is not None else 1,
+            n_items=len(items),
+        )
+        workers = 1
     if workers <= 1:
         return [fn(item) for item in items]
     if executor == "process":
@@ -72,6 +120,34 @@ def parallel_map(
         pool_cls = ThreadPoolExecutor
     else:
         raise ValueError(f"executor must be 'process' or 'thread', got {executor!r}")
+
+    session = _obs.active()
+    if session is None:
+        with pool_cls(max_workers=workers) as pool:
+            futures = [pool.submit(fn, item) for item in items]
+            return [future.result() for future in futures]
+
+    parent_id = session.current_span_id()
+    if executor == "thread":
+        # Same process: workers record straight into the session, adopting
+        # the launching span as their thread's root parent.
+        def bound(item: ItemT) -> ResultT:
+            with session.thread_context(parent_id):
+                return fn(item)
+
+        with pool_cls(max_workers=workers) as pool:
+            futures = [pool.submit(bound, item) for item in items]
+            return [future.result() for future in futures]
+
+    # Process workers: each runs under a fresh session (fork-inherited
+    # parent state shadowed) and ships its recordings back with the result.
     with pool_cls(max_workers=workers) as pool:
-        futures = [pool.submit(fn, item) for item in items]
-        return [future.result() for future in futures]
+        futures = [
+            pool.submit(_call_with_worker_obs, (fn, item)) for item in items
+        ]
+        outcomes = [future.result() for future in futures]
+    results: list[ResultT] = []
+    for result, export in outcomes:
+        session.absorb(export, parent_id=parent_id)
+        results.append(result)
+    return results

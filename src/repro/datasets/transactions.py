@@ -156,6 +156,22 @@ class TransactionDataset:
             partition[int(label)].append(transaction)
         return partition
 
+    def content_hash(self) -> str:
+        """Deterministic hex digest of the transactions and labels.
+
+        Identifies the exact data a run saw (independent of object identity
+        or load path), so run manifests can record which dataset revision
+        produced a trace.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        digest.update(f"{self.n_rows}:{self.n_items}:{self.n_classes};".encode())
+        for transaction, label in zip(self.transactions, self.labels):
+            digest.update(",".join(map(str, transaction)).encode())
+            digest.update(f"|{int(label)};".encode())
+        return digest.hexdigest()[:16]
+
     def subset(self, indices: Sequence[int] | np.ndarray) -> "TransactionDataset":
         indices = np.asarray(indices)
         return TransactionDataset(

@@ -20,6 +20,7 @@ import numpy as np
 from ..core.parallel import parallel_map
 from ..datasets.transactions import TransactionDataset
 from ..features.pipeline import FrequentPatternClassifier
+from ..obs import core as _obs
 from .metrics import accuracy
 
 __all__ = ["stratified_kfold", "FoldScore", "CVReport", "cross_validate_pipeline"]
@@ -117,20 +118,37 @@ def cross_validate_pipeline(
 
     def run_fold(job: tuple[int, tuple[np.ndarray, np.ndarray]]) -> FoldScore:
         fold_index, (train_indices, test_indices) = job
-        train = data.subset(train_indices)
-        test = data.subset(test_indices)
-        pipeline = pipeline_factory()
-        pipeline.fit(train)
-        predictions = pipeline.predict(test)
-        return FoldScore(
-            fold=fold_index,
-            accuracy=accuracy(predictions, test.labels),
-            n_train=len(train_indices),
-            n_test=len(test_indices),
-            n_selected_patterns=len(pipeline.selected_patterns),
-        )
+        with _obs.span(
+            "eval.fold", fold=fold_index, model=model_name
+        ) as fold_span:
+            train = data.subset(train_indices)
+            test = data.subset(test_indices)
+            pipeline = pipeline_factory()
+            pipeline.fit(train)
+            predictions = pipeline.predict(test)
+            score = FoldScore(
+                fold=fold_index,
+                accuracy=accuracy(predictions, test.labels),
+                n_train=len(train_indices),
+                n_test=len(test_indices),
+                n_selected_patterns=len(pipeline.selected_patterns),
+            )
+            fold_span.set(
+                accuracy=score.accuracy,
+                selected_patterns=score.n_selected_patterns,
+            )
+        _obs.record("eval.fold_accuracy", score.accuracy)
+        return score
 
-    scores = parallel_map(
-        run_fold, list(enumerate(folds)), n_jobs=n_jobs, executor="thread"
-    )
+    with _obs.span(
+        "eval.cv",
+        dataset=data.name,
+        model=model_name,
+        folds=n_folds,
+        seed=seed,
+    ):
+        scores = parallel_map(
+            run_fold, list(enumerate(folds)), n_jobs=n_jobs, executor="thread"
+        )
+    _obs.add("eval.folds", len(scores))
     return CVReport(dataset=data.name, model=model_name, folds=scores)

@@ -37,6 +37,7 @@ from ..measures.contingency import batch_pattern_stats
 from ..measures.information_gain import information_gain
 from ..mining.generation import mine_class_patterns
 from ..mining.itemsets import Pattern
+from ..obs import core as _obs
 from ..selection.minsup import suggest_min_support
 from ..selection.mmrfs import SelectionResult, mmrfs, top_k_by_relevance
 from .transformer import PatternFeaturizer
@@ -221,47 +222,59 @@ class FrequentPatternClassifier:
         """Run feature generation, selection and model learning."""
         transactions = self._as_transactions(data)
 
-        selected: list[Pattern] = []
-        if self.use_patterns:
-            self.resolved_min_support_ = self._resolve_min_support(transactions)
-            mined = mine_class_patterns(
-                transactions,
-                min_support=self.resolved_min_support_,
-                miner=self.miner,
-                max_length=self.max_length,
-                max_patterns=self.max_patterns,
-                n_jobs=self.n_jobs,
+        with _obs.span(
+            "pipeline.fit", dataset=transactions.name, rows=transactions.n_rows
+        ) as fit_span:
+            selected: list[Pattern] = []
+            if self.use_patterns:
+                self.resolved_min_support_ = self._resolve_min_support(transactions)
+                mined = mine_class_patterns(
+                    transactions,
+                    min_support=self.resolved_min_support_,
+                    miner=self.miner,
+                    max_length=self.max_length,
+                    max_patterns=self.max_patterns,
+                    n_jobs=self.n_jobs,
+                )
+                self.mined_patterns_ = self._cap_candidates(
+                    mined.patterns, transactions
+                )
+                with _obs.span("pipeline.select", strategy=self.selection):
+                    selected = self._select(transactions)
+            else:
+                self.resolved_min_support_ = None
+                self.mined_patterns_ = []
+
+            self.featurizer_ = PatternFeaturizer(
+                n_items=transactions.n_items, patterns=selected, include_items=True
             )
-            self.mined_patterns_ = self._cap_candidates(
-                mined.patterns, transactions
+            design = self.featurizer_.transform(transactions)
+
+            self.item_mask_ = self._item_selection_mask(transactions)
+            if self.item_mask_ is not None:
+                design = self._apply_item_mask(design)
+
+            with _obs.span(
+                "pipeline.learn",
+                features=design.shape[1],
+                model=type(self.classifier).__name__,
+            ):
+                if self.classifier_candidates:
+                    from ..eval.model_selection import select_best_classifier
+
+                    self.model_, self.candidate_scores_ = select_best_classifier(
+                        self.classifier_candidates,
+                        design,
+                        transactions.labels,
+                        n_folds=self.inner_folds,
+                    )
+                else:
+                    self.candidate_scores_ = []
+                    self.model_ = self.classifier.clone()
+                    self.model_.fit(design, transactions.labels)
+            fit_span.set(
+                mined=len(self.mined_patterns_), selected=len(selected)
             )
-            selected = self._select(transactions)
-        else:
-            self.resolved_min_support_ = None
-            self.mined_patterns_ = []
-
-        self.featurizer_ = PatternFeaturizer(
-            n_items=transactions.n_items, patterns=selected, include_items=True
-        )
-        design = self.featurizer_.transform(transactions)
-
-        self.item_mask_ = self._item_selection_mask(transactions)
-        if self.item_mask_ is not None:
-            design = self._apply_item_mask(design)
-
-        if self.classifier_candidates:
-            from ..eval.model_selection import select_best_classifier
-
-            self.model_, self.candidate_scores_ = select_best_classifier(
-                self.classifier_candidates,
-                design,
-                transactions.labels,
-                n_folds=self.inner_folds,
-            )
-        else:
-            self.candidate_scores_ = []
-            self.model_ = self.classifier.clone()
-            self.model_.fit(design, transactions.labels)
         self._fitted = True
         return self
 

@@ -15,6 +15,7 @@ import numpy as np
 from ..core.bitset import BitMatrix
 from ..datasets.transactions import TransactionDataset
 from ..mining.itemsets import Pattern
+from ..obs import core as _obs
 
 __all__ = ["PatternFeaturizer"]
 
@@ -77,26 +78,33 @@ class PatternFeaturizer:
         packed on the fly.  Each pattern column is an AND-reduction over
         item masks.
         """
-        if isinstance(data, TransactionDataset) and data.n_items == self.n_items:
-            item_bits = data.item_bits()
-            n_rows = data.n_rows
-        else:
-            transactions = (
-                data.transactions
-                if isinstance(data, TransactionDataset)
-                else list(data)
-            )
-            item_bits = BitMatrix.vertical(transactions, self.n_items)
-            n_rows = len(transactions)
-        blocks = []
-        if self.include_items:
-            blocks.append(item_bits.to_dense().T.astype(np.float64))
-        if self.patterns:
-            pattern_words = np.stack(
-                [item_bits.and_reduce(p.items) for p in self.patterns]
-            )
-            pattern_bits = BitMatrix(pattern_words, n_rows)
-            blocks.append(pattern_bits.to_dense().T.astype(np.float64))
-        if not blocks:
-            return np.zeros((n_rows, 0))
-        return np.hstack(blocks)
+        with _obs.span(
+            "features.transform",
+            n_patterns=len(self.patterns),
+            include_items=self.include_items,
+        ) as transform_span:
+            if isinstance(data, TransactionDataset) and data.n_items == self.n_items:
+                item_bits = data.item_bits()
+                n_rows = data.n_rows
+            else:
+                transactions = (
+                    data.transactions
+                    if isinstance(data, TransactionDataset)
+                    else list(data)
+                )
+                item_bits = BitMatrix.vertical(transactions, self.n_items)
+                n_rows = len(transactions)
+            transform_span.set(rows=n_rows, features=self.n_features)
+            _obs.add("features.transform_cells", n_rows * self.n_features)
+            blocks = []
+            if self.include_items:
+                blocks.append(item_bits.to_dense().T.astype(np.float64))
+            if self.patterns:
+                pattern_words = np.stack(
+                    [item_bits.and_reduce(p.items) for p in self.patterns]
+                )
+                pattern_bits = BitMatrix(pattern_words, n_rows)
+                blocks.append(pattern_bits.to_dense().T.astype(np.float64))
+            if not blocks:
+                return np.zeros((n_rows, 0))
+            return np.hstack(blocks)

@@ -16,6 +16,7 @@ import numpy as np
 from ..core.bitset import popcount
 from ..datasets.transactions import TransactionDataset
 from ..mining.itemsets import Pattern
+from ..obs import core as _obs
 
 __all__ = ["PatternStats", "pattern_stats", "batch_pattern_stats"]
 
@@ -92,6 +93,11 @@ def batch_pattern_stats(
     """
     if not patterns:
         return []
+    session = _obs._ACTIVE
+    if session is not None:
+        session.add("measures.contingency.batches", 1)
+        session.add("measures.contingency.patterns", len(patterns))
+        session.record("measures.contingency.batch_size", len(patterns))
     item_bits = data.item_bits()
     label_words = data.label_bits().words
     class_totals = data.class_counts().astype(np.int64)

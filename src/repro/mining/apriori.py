@@ -11,6 +11,7 @@ from __future__ import annotations
 from itertools import combinations
 from typing import Sequence
 
+from ..obs import core as _obs
 from .itemsets import MiningResult, Pattern, PatternBudgetExceeded
 
 __all__ = ["apriori"]
@@ -82,6 +83,7 @@ def apriori(
     if min_support < 1:
         raise ValueError("min_support is an absolute count and must be >= 1")
     transactions = [tuple(sorted(set(t))) for t in transactions]
+    session = _obs._ACTIVE
 
     item_counts: dict[int, int] = {}
     for transaction in transactions:
@@ -97,21 +99,36 @@ def apriori(
         if max_patterns is not None and len(patterns) > max_patterns:
             raise PatternBudgetExceeded(max_patterns, len(patterns))
 
-    frequent = sorted(
-        (item,) for item, count in item_counts.items() if count >= min_support
-    )
-    for itemset in frequent:
-        emit(itemset, item_counts[itemset[0]])
-
-    length = 1
-    while frequent and (max_length is None or length < max_length):
-        candidates = _generate_candidates(frequent)
-        counts = _count_candidates(transactions, candidates)
+    try:
         frequent = sorted(
-            itemset for itemset, count in counts.items() if count >= min_support
+            (item,) for item, count in item_counts.items() if count >= min_support
         )
+        if session is not None:
+            # Level 1: every distinct item is a support-counted candidate.
+            session.add("mining.apriori.candidates", len(item_counts))
+            session.add("mining.apriori.pruned", len(item_counts) - len(frequent))
         for itemset in frequent:
-            emit(itemset, counts[itemset])
-        length += 1
+            emit(itemset, item_counts[itemset[0]])
+
+        length = 1
+        while frequent and (max_length is None or length < max_length):
+            candidates = _generate_candidates(frequent)
+            counts = _count_candidates(transactions, candidates)
+            frequent = sorted(
+                itemset for itemset, count in counts.items() if count >= min_support
+            )
+            if session is not None:
+                session.add("mining.apriori.candidates", len(candidates))
+                session.add(
+                    "mining.apriori.pruned", len(candidates) - len(frequent)
+                )
+            for itemset in frequent:
+                emit(itemset, counts[itemset])
+            length += 1
+    finally:
+        # Flushed even when the pattern budget trips, so a blown-up run
+        # still reports how far enumeration got.
+        if session is not None:
+            session.add("mining.apriori.patterns", len(patterns))
 
     return MiningResult(patterns, min_support=min_support, n_rows=len(transactions))

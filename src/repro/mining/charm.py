@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
+from ..obs import core as _obs
 from .itemsets import MiningResult, Pattern, PatternBudgetExceeded
 
 __all__ = ["charm"]
@@ -61,7 +62,17 @@ def charm(
     root: list[_Node] = [
         (frozenset([item]), tidset) for item, tidset in item_tidsets.items()
     ]
-    _charm_extend(_sorted_nodes(root), record, min_support)
+    # Search statistics; local int bumps flushed to the obs session once at
+    # the end (also when the budget trips mid-search).
+    stats = {"absorbed": 0, "children": 0}
+    try:
+        _charm_extend(_sorted_nodes(root), record, min_support, stats)
+    finally:
+        session = _obs._ACTIVE
+        if session is not None:
+            session.add("mining.charm.patterns", len(closed))
+            session.add("mining.charm.absorbed", stats["absorbed"])
+            session.add("mining.charm.candidates", len(root) + stats["children"])
 
     patterns = [
         Pattern(items=tuple(sorted(itemset)), support=len(tidset))
@@ -80,6 +91,7 @@ def _charm_extend(
     nodes: list[_Node],
     record: Callable[[frozenset, frozenset], None],
     min_support: int,
+    stats: dict,
 ) -> None:
     """Process one equivalence class of candidates."""
     index = 0
@@ -93,6 +105,7 @@ def _charm_extend(
             if tidset_i == tidset_j:
                 itemset_i = itemset_i | itemset_j
                 del nodes[j]
+                stats["absorbed"] += 1
                 continue
             if tidset_i < tidset_j:
                 itemset_i = itemset_i | itemset_j
@@ -108,5 +121,6 @@ def _charm_extend(
 
         record(itemset_i, tidset_i)
         if children:
-            _charm_extend(_sorted_nodes(children), record, min_support)
+            stats["children"] += len(children)
+            _charm_extend(_sorted_nodes(children), record, min_support, stats)
         index += 1

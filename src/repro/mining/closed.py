@@ -22,6 +22,7 @@ from typing import Sequence
 import numpy as np
 
 from ..core.bitset import BitMatrix, packed_ones, popcount
+from ..obs import core as _obs
 from .itemsets import MiningResult, Pattern, PatternBudgetExceeded
 
 __all__ = ["closed_fpgrowth", "occurrence_matrix", "brute_force_closed"]
@@ -92,16 +93,28 @@ def closed_fpgrowth(
     if len(root_items) and (max_length is None or len(root_items) <= max_length):
         emit(root_items, n_rows)
 
-    _expand(
-        item_words=item_bits.words,
-        closure_mask=root_closure,
-        row_words=all_rows,
-        core_item=-1,
-        frequent_items=frequent_items,
-        min_support=min_support,
-        max_length=max_length,
-        emit=emit,
-    )
+    # Enumeration statistics; local int bumps flushed to the obs session
+    # once at the end (also when the budget trips mid-search).
+    stats = {"closure_checks": 0, "support_pruned": 0, "prefix_pruned": 0}
+    try:
+        _expand(
+            item_words=item_bits.words,
+            closure_mask=root_closure,
+            row_words=all_rows,
+            core_item=-1,
+            frequent_items=frequent_items,
+            min_support=min_support,
+            max_length=max_length,
+            emit=emit,
+            stats=stats,
+        )
+    finally:
+        session = _obs._ACTIVE
+        if session is not None:
+            session.add("mining.closed.patterns", len(patterns))
+            session.add("mining.closed.closure_checks", stats["closure_checks"])
+            session.add("mining.closed.support_pruned", stats["support_pruned"])
+            session.add("mining.closed.prefix_pruned", stats["prefix_pruned"])
     return MiningResult(patterns, min_support=min_support, n_rows=n_rows)
 
 
@@ -114,6 +127,7 @@ def _expand(
     min_support: int,
     max_length: int | None,
     emit,
+    stats: dict,
 ) -> None:
     """Prefix-preserving closure extension from one closed itemset.
 
@@ -130,12 +144,15 @@ def _expand(
         new_rows = row_words & item_words[item]
         support = int(popcount(new_rows))
         if support < min_support:
+            stats["support_pruned"] += 1
             continue
         # clo(P ∪ {i}): items whose tidset contains every row of new_rows.
+        stats["closure_checks"] += 1
         new_closure = popcount(item_words & new_rows) == support
         # Prefix preservation: no item < `item` may join the closure.
         prefix_violation = (new_closure[:item] & ~closure_mask[:item]).any()
         if prefix_violation:
+            stats["prefix_pruned"] += 1
             continue
         closure_items = np.nonzero(new_closure)[0]
         if max_length is not None and len(closure_items) > max_length:
@@ -150,6 +167,7 @@ def _expand(
             min_support=min_support,
             max_length=max_length,
             emit=emit,
+            stats=stats,
         )
 
 

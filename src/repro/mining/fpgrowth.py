@@ -10,6 +10,7 @@ from __future__ import annotations
 from itertools import combinations
 from typing import Sequence
 
+from ..obs import core as _obs
 from .fptree import FPTree
 from .itemsets import MiningResult, Pattern, PatternBudgetExceeded, canonical
 
@@ -47,13 +48,33 @@ def fpgrowth(
         if max_patterns is not None and len(patterns) > max_patterns:
             raise PatternBudgetExceeded(max_patterns, len(patterns))
 
-    _mine(tree, suffix=(), min_support=min_support, max_length=max_length, emit=emit)
+    # Recursion statistics; plain local int bumps, flushed to the obs
+    # session once at the end (also on a budget trip).
+    stats = {"conditional_trees": 0, "single_paths": 0}
+    try:
+        _mine(
+            tree,
+            suffix=(),
+            min_support=min_support,
+            max_length=max_length,
+            emit=emit,
+            stats=stats,
+        )
+    finally:
+        session = _obs._ACTIVE
+        if session is not None:
+            session.add("mining.fpgrowth.patterns", len(patterns))
+            session.add(
+                "mining.fpgrowth.conditional_trees", stats["conditional_trees"]
+            )
+            session.add("mining.fpgrowth.single_paths", stats["single_paths"])
     return MiningResult(patterns, min_support=min_support, n_rows=len(transactions))
 
 
-def _mine(tree: FPTree, suffix, min_support, max_length, emit) -> None:
+def _mine(tree: FPTree, suffix, min_support, max_length, emit, stats) -> None:
     single, chain = tree.is_single_path()
     if single:
+        stats["single_paths"] += 1
         _emit_single_path(chain, suffix, max_length, emit)
         return
 
@@ -68,7 +89,8 @@ def _mine(tree: FPTree, suffix, min_support, max_length, emit) -> None:
             continue
         conditional = FPTree.from_weighted(base, min_support)
         if not conditional.is_empty:
-            _mine(conditional, new_suffix, min_support, max_length, emit)
+            stats["conditional_trees"] += 1
+            _mine(conditional, new_suffix, min_support, max_length, emit, stats)
 
 
 def _emit_single_path(chain, suffix, max_length, emit) -> None:

@@ -23,6 +23,7 @@ from typing import Literal, Sequence
 
 from ..core.parallel import parallel_map
 from ..datasets.transactions import TransactionDataset
+from ..obs import core as _obs
 from .closed import closed_fpgrowth
 from .fpgrowth import fpgrowth
 from .itemsets import MiningResult, Pattern, PatternBudgetExceeded
@@ -60,13 +61,18 @@ def _mine_partition(
 ) -> list[tuple[int, ...]]:
     """Mine one class partition; module-level so process pools can pickle it."""
     transactions, absolute = job
-    result = _MINERS[miner](
-        transactions,
-        min_support=absolute,
-        max_length=max_length,
-        max_patterns=max_patterns,
-    )
-    return [p.items for p in result.patterns if len(p.items) >= min_length]
+    with _obs.span(
+        "mining.partition", miner=miner, rows=len(transactions), min_support=absolute
+    ) as partition_span:
+        result = _MINERS[miner](
+            transactions,
+            min_support=absolute,
+            max_length=max_length,
+            max_patterns=max_patterns,
+        )
+        kept = [p.items for p in result.patterns if len(p.items) >= min_length]
+        partition_span.set(patterns=len(result.patterns), kept=len(kept))
+    return kept
 
 
 def mine_class_patterns(
@@ -112,37 +118,47 @@ def mine_class_patterns(
     if miner not in _MINERS:
         raise KeyError(miner)
 
-    jobs = []
-    for _, transactions in sorted(data.class_partition().items()):
-        if not transactions:
-            continue
-        absolute = max(1, int(-(-min_support * len(transactions) // 1)))  # ceil
-        jobs.append((transactions, absolute))
+    with _obs.span(
+        "mining.generate",
+        dataset=data.name,
+        miner=miner,
+        min_support=min_support,
+        n_jobs=n_jobs if n_jobs is not None else 1,
+    ) as generate_span:
+        jobs = []
+        for _, transactions in sorted(data.class_partition().items()):
+            if not transactions:
+                continue
+            absolute = max(1, int(-(-min_support * len(transactions) // 1)))  # ceil
+            jobs.append((transactions, absolute))
 
-    partition_itemsets = parallel_map(
-        partial(
-            _mine_partition,
-            miner=miner,
-            min_length=min_length,
-            max_length=max_length,
-            max_patterns=max_patterns,
-        ),
-        jobs,
-        n_jobs=n_jobs,
-        executor="process",
-    )
+        partition_itemsets = parallel_map(
+            partial(
+                _mine_partition,
+                miner=miner,
+                min_length=min_length,
+                max_length=max_length,
+                max_patterns=max_patterns,
+            ),
+            jobs,
+            n_jobs=n_jobs,
+            executor="process",
+        )
 
-    merged: set[tuple[int, ...]] = set()
-    for itemsets in partition_itemsets:
-        merged.update(itemsets)
-        # The budget bounds the *candidate feature set*, so the merged union
-        # across class partitions must honor it too.  Bulk update means
-        # `emitted` can land past budget + 1; it stays a strict lower bound
-        # on the true count (see PatternBudgetExceeded).
-        if max_patterns is not None and len(merged) > max_patterns:
-            raise PatternBudgetExceeded(max_patterns, len(merged))
+        merged: set[tuple[int, ...]] = set()
+        for itemsets in partition_itemsets:
+            merged.update(itemsets)
+            # The budget bounds the *candidate feature set*, so the merged union
+            # across class partitions must honor it too.  Bulk update means
+            # `emitted` can land past budget + 1; it stays a strict lower bound
+            # on the true count (see PatternBudgetExceeded).
+            if max_patterns is not None and len(merged) > max_patterns:
+                raise PatternBudgetExceeded(max_patterns, len(merged))
 
-    patterns = recount_supports(sorted(merged), data)
-    patterns.sort(key=lambda p: (p.length, p.items))
+        patterns = recount_supports(sorted(merged), data)
+        patterns.sort(key=lambda p: (p.length, p.items))
+        generate_span.set(partitions=len(jobs), merged_patterns=len(patterns))
+        _obs.add("mining.generation.partitions", len(jobs))
+        _obs.add("mining.generation.merged_patterns", len(patterns))
     global_absolute = max(1, int(round(min_support * data.n_rows)))
     return MiningResult(patterns, min_support=global_absolute, n_rows=data.n_rows)

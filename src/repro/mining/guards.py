@@ -17,6 +17,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from ..obs import core as _obs
 from .itemsets import MiningResult, PatternBudgetExceeded
 
 __all__ = ["GuardedMiningReport", "MiningTimeLimitExceeded", "guarded_mine"]
@@ -41,6 +42,12 @@ def _wall_clock_limit(seconds: float | None):
     (POSIX).  Elsewhere the block runs unguarded — the pattern budget is
     then the only guard, which keeps :func:`guarded_mine` safe to call from
     worker threads.
+
+    The guard is a good citizen toward surrounding alarm users: on exit it
+    restores both the pre-existing ``SIGALRM`` handler *and* any remaining
+    time on a pre-existing real-interval timer (minus the time the guarded
+    block consumed), so an outer timeout keeps ticking instead of being
+    silently cancelled.
     """
     can_arm = (
         seconds is not None
@@ -54,13 +61,23 @@ def _wall_clock_limit(seconds: float | None):
     def _on_alarm(signum, frame):
         raise MiningTimeLimitExceeded(seconds)
 
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
+    previous_handler = signal.signal(signal.SIGALRM, _on_alarm)
+    previous_delay, previous_interval = signal.setitimer(
+        signal.ITIMER_REAL, seconds
+    )
+    armed_at = time.monotonic()
     try:
         yield
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
+        signal.signal(signal.SIGALRM, previous_handler)
+        if previous_delay > 0.0:
+            # Re-arm the pre-existing timer with whatever time it had left;
+            # if it should already have fired, schedule it near-immediately
+            # so the outer deadline is late rather than lost.
+            elapsed = time.monotonic() - armed_at
+            remaining = max(previous_delay - elapsed, 1e-6)
+            signal.setitimer(signal.ITIMER_REAL, remaining, previous_interval)
 
 
 @dataclass
@@ -113,38 +130,57 @@ def guarded_mine(
         armed only on the main thread (see :func:`_wall_clock_limit`).
     """
     start = time.perf_counter()
-    try:
-        with _wall_clock_limit(time_limit):
-            result = miner(
-                transactions,
-                min_support=min_support,
-                max_patterns=max_patterns,
-                **miner_kwargs,
-            )
-    except PatternBudgetExceeded as exc:
-        elapsed = time.perf_counter() - start
-        return GuardedMiningReport(
-            feasible=False,
-            n_patterns=exc.emitted,
-            elapsed_seconds=elapsed,
-            result=None,
-            reason=str(exc),
-            guard="budget",
-        )
-    except MiningTimeLimitExceeded as exc:
-        elapsed = time.perf_counter() - start
-        return GuardedMiningReport(
-            feasible=False,
-            n_patterns=0,
-            elapsed_seconds=elapsed,
-            result=None,
-            reason=str(exc),
-            guard="time limit",
-        )
-    elapsed = time.perf_counter() - start
-    return GuardedMiningReport(
-        feasible=True,
-        n_patterns=len(result),
-        elapsed_seconds=elapsed,
-        result=result,
+    guard_span = _obs.span(
+        "mining.guarded",
+        miner=getattr(miner, "__name__", str(miner)),
+        min_support=min_support,
+        budget=max_patterns,
     )
+    with guard_span:
+        try:
+            with _wall_clock_limit(time_limit):
+                result = miner(
+                    transactions,
+                    min_support=min_support,
+                    max_patterns=max_patterns,
+                    **miner_kwargs,
+                )
+        except PatternBudgetExceeded as exc:
+            elapsed = time.perf_counter() - start
+            guard_span.set(outcome="budget", n_patterns=exc.emitted)
+            _obs.event(
+                "guard_tripped",
+                str(exc),
+                guard="budget",
+                emitted=exc.emitted,
+            )
+            return GuardedMiningReport(
+                feasible=False,
+                n_patterns=exc.emitted,
+                elapsed_seconds=elapsed,
+                result=None,
+                reason=str(exc),
+                guard="budget",
+            )
+        except MiningTimeLimitExceeded as exc:
+            elapsed = time.perf_counter() - start
+            guard_span.set(outcome="time limit")
+            _obs.event(
+                "guard_tripped", str(exc), guard="time limit"
+            )
+            return GuardedMiningReport(
+                feasible=False,
+                n_patterns=0,
+                elapsed_seconds=elapsed,
+                result=None,
+                reason=str(exc),
+                guard="time limit",
+            )
+        elapsed = time.perf_counter() - start
+        guard_span.set(outcome="completed", n_patterns=len(result))
+        return GuardedMiningReport(
+            feasible=True,
+            n_patterns=len(result),
+            elapsed_seconds=elapsed,
+            result=result,
+        )

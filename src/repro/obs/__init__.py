@@ -1,0 +1,68 @@
+"""``repro.obs`` — zero-dependency instrumentation for the whole pipeline.
+
+Three facilities, all off by default and all merged into one artifact:
+
+* a hierarchical **span tracer** (wall + CPU time, peak RSS) that is
+  thread-safe and survives the process-pool fan-out of parallel mining;
+* a **counter/series registry** threaded through the hot paths — per-miner
+  candidate/pruned counts, bitset kernel volume, closure checks, MMRFS
+  gain evaluations and coverage progress, contingency batch sizes;
+* **structured emission** — a JSONL trace with a run manifest and a
+  per-phase rollup, validated by :mod:`repro.obs.schema` and summarized
+  by ``repro report``.
+
+Typical use (the CLI's ``--trace`` flag does exactly this)::
+
+    from repro import obs
+
+    with obs.session() as sess:
+        with obs.span("experiment", dataset="austral"):
+            run()                       # instrumented internals record here
+    obs.write_trace("run.jsonl", sess)
+
+When no session is installed every hook is a single global read plus a
+``None`` check — the disabled overhead is bounded by the benchmark suite
+(``benchmarks/test_obs_overhead.py``) at under 3% of pipeline runtime.
+
+See ``docs/OBSERVABILITY.md`` for the span/counter API, the trace schema
+and the manifest fields.
+"""
+
+from .core import (
+    ObsSession,
+    active,
+    add,
+    event,
+    record,
+    session,
+    span,
+    warn,
+    worker_session,
+)
+from .emit import phase_rollup, trace_lines, write_trace
+from .manifest import build_manifest, git_sha
+from .report import TraceData, load_trace, render_report
+from .schema import SCHEMA_VERSION, validate_file, validate_lines
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ObsSession",
+    "TraceData",
+    "active",
+    "add",
+    "build_manifest",
+    "event",
+    "git_sha",
+    "load_trace",
+    "phase_rollup",
+    "record",
+    "render_report",
+    "session",
+    "span",
+    "trace_lines",
+    "validate_file",
+    "validate_lines",
+    "warn",
+    "worker_session",
+    "write_trace",
+]

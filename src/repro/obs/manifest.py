@@ -1,0 +1,73 @@
+"""Run manifests: the who/what/when header of every trace.
+
+A manifest pins down everything needed to re-run or audit an observed
+experiment: the command and its full configuration, the git commit of the
+code, the RNG seed, the interpreter/platform, and (filled in lazily by the
+data loaders) a content hash per dataset touched.  It is the first line of
+every JSONL trace (see :mod:`repro.obs.emit`).
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+import sys
+import time
+from typing import Any, Mapping
+
+__all__ = ["git_sha", "jsonable_config", "build_manifest"]
+
+
+def git_sha(cwd: str | None = None) -> str | None:
+    """The current git commit hash, or None when not in a repo / no git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def jsonable_config(config: Mapping[str, Any]) -> dict[str, Any]:
+    """A JSON-safe copy of a config mapping (drops non-serializable values)."""
+    safe: dict[str, Any] = {}
+    for key, value in config.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            safe[key] = value
+        elif isinstance(value, (list, tuple)):
+            safe[key] = [
+                v for v in value if isinstance(v, (str, int, float, bool))
+            ]
+    return safe
+
+
+def build_manifest(
+    command: str,
+    config: Mapping[str, Any] | None = None,
+    seed: int | None = None,
+    argv: list[str] | None = None,
+) -> dict[str, Any]:
+    """Assemble the run manifest for one entry-point invocation.
+
+    ``config`` is typically ``vars(args)`` from argparse; callables and
+    other non-JSON values are dropped.  Dataset entries (name, rows, hash)
+    are appended later by the loaders via ``session.manifest``.
+    """
+    return {
+        "type": "manifest",
+        "command": command,
+        "argv": list(argv) if argv is not None else sys.argv[1:],
+        "config": jsonable_config(config or {}),
+        "seed": seed,
+        "git_sha": git_sha(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "started_unix": time.time(),
+        "datasets": [],
+    }

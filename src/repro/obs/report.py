@@ -1,0 +1,123 @@
+"""Human-readable summaries of emitted traces (``repro report``).
+
+Loads a JSONL trace back into structured form and renders the manifest,
+the per-phase rollup, the counters, series endpoints and events as one
+plain-text report — the auditable face of an observed run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .emit import phase_rollup
+
+__all__ = ["TraceData", "load_trace", "render_report"]
+
+
+class TraceData:
+    """One parsed trace: manifest, spans, counters, series, events, rollup."""
+
+    def __init__(self, lines: list[dict]) -> None:
+        self.manifest: dict[str, Any] = {}
+        self.rollup: dict[str, Any] = {}
+        self.spans: list[dict] = []
+        self.counters: dict[str, float] = {}
+        self.series: dict[str, list] = {}
+        self.events: list[dict] = []
+        for obj in lines:
+            kind = obj.get("type")
+            if kind == "manifest":
+                self.manifest = obj
+            elif kind == "span":
+                self.spans.append(obj)
+            elif kind == "counter":
+                self.counters[obj["name"]] = obj["value"]
+            elif kind == "series":
+                self.series[obj["name"]] = obj["values"]
+            elif kind == "event":
+                self.events.append(obj)
+            elif kind == "rollup":
+                self.rollup = obj
+
+    @property
+    def phases(self) -> dict[str, dict]:
+        return self.rollup.get("phases") or phase_rollup(self.spans)
+
+
+def load_trace(path: str | Path) -> TraceData:
+    """Parse a JSONL trace file (assumed schema-valid; validate first)."""
+    lines = []
+    for raw in Path(path).read_text().splitlines():
+        raw = raw.strip()
+        if raw:
+            lines.append(json.loads(raw))
+    return TraceData(lines)
+
+
+def _render_manifest(manifest: dict[str, Any]) -> list[str]:
+    sha = manifest.get("git_sha") or "unknown"
+    out = [
+        f"command : {manifest.get('command', '?')} "
+        f"{' '.join(str(a) for a in manifest.get('argv', []))}".rstrip(),
+        f"code    : git {sha[:12]}  python {manifest.get('python', '?')}",
+    ]
+    if manifest.get("seed") is not None:
+        out.append(f"seed    : {manifest['seed']}")
+    for entry in manifest.get("datasets", []):
+        out.append(
+            f"dataset : {entry.get('name', '?')} "
+            f"(rows={entry.get('rows', '?')}, "
+            f"hash={str(entry.get('content_hash', '?'))[:12]})"
+        )
+    return out
+
+
+def render_report(trace: TraceData, top_counters: int | None = None) -> str:
+    """Render one trace as a plain-text summary report."""
+    sections: list[str] = []
+    sections.extend(_render_manifest(trace.manifest))
+
+    phases = trace.phases
+    if phases:
+        header = f"{'phase':40s} {'count':>7s} {'wall (s)':>10s} {'cpu (s)':>10s}"
+        rows = [header, "-" * len(header)]
+        ordered = sorted(
+            phases.items(), key=lambda kv: kv[1]["wall_s"], reverse=True
+        )
+        for name, agg in ordered:
+            rows.append(
+                f"{name:40s} {agg['count']:7d} {agg['wall_s']:10.3f} "
+                f"{agg['cpu_s']:10.3f}"
+            )
+        sections.append("")
+        sections.extend(rows)
+
+    if trace.counters:
+        sections.append("")
+        sections.append("counters:")
+        names = sorted(trace.counters)
+        if top_counters is not None:
+            names = sorted(
+                trace.counters, key=lambda n: -abs(trace.counters[n])
+            )[:top_counters]
+        width = max(len(n) for n in names)
+        for name in names:
+            sections.append(f"  {name:{width}s}  {trace.counters[name]:,}")
+
+    if trace.series:
+        sections.append("")
+        sections.append("series:")
+        for name in sorted(trace.series):
+            values = trace.series[name]
+            tail = values[-1] if values else "-"
+            sections.append(f"  {name}  points={len(values)} last={tail}")
+
+    if trace.events:
+        sections.append("")
+        sections.append(f"events ({len(trace.events)}):")
+        for entry in trace.events:
+            sections.append(f"  [{entry.get('kind', '?')}] {entry.get('message', '')}")
+
+    return "\n".join(sections)

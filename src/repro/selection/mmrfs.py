@@ -32,6 +32,7 @@ import numpy as np
 
 from ..core.bitset import pack_bits, popcount, unpack_bits
 from ..datasets.transactions import TransactionDataset
+from ..obs import core as _obs
 from ..measures.contingency import PatternStats, batch_pattern_stats
 from ..mining.closed import occurrence_matrix
 from ..mining.itemsets import Pattern
@@ -129,7 +130,32 @@ def mmrfs(
             delta=delta,
             considered=0,
         )
+    with _obs.span(
+        "selection.mmrfs",
+        candidates=len(patterns),
+        delta=delta,
+        engine=engine,
+        rows=data.n_rows,
+    ) as selection_span:
+        result = _mmrfs_run(
+            patterns, data, score, delta, max_selected, engine
+        )
+        selection_span.set(
+            selected=len(result), fully_covered=result.fully_covered
+        )
+    return result
 
+
+def _mmrfs_run(
+    patterns: list[Pattern],
+    data: TransactionDataset,
+    score,
+    delta: int,
+    max_selected: int | None,
+    engine: str,
+) -> SelectionResult:
+    """Algorithm 1 proper (validation and the obs span live in the caller)."""
+    session = _obs._ACTIVE
     stats = batch_pattern_stats(patterns, data)
     relevances = np.array([score(s) for s in stats], dtype=float)
     supports = np.array([s.support for s in stats], dtype=np.int64)
@@ -217,11 +243,21 @@ def mmrfs(
         # (unavailable rows are masked at argmax time, so updating them too
         # is cheaper than slicing the coverage matrix).
         np.maximum(max_redundancy, redundancy_against(index), out=max_redundancy)
+        if session is not None:
+            # Each selection re-scores every candidate's gain; the coverage
+            # series tracks rows that reached the delta target per round.
+            session.add("selection.mmrfs.gain_evaluations", len(patterns))
+            session.record(
+                "selection.mmrfs.covered_rows",
+                int((coverage_counts >= delta).sum()),
+            )
 
     # Line 1-2: seed with the most relevant pattern.
     first = int(np.argmax(relevances))
     select(first, gain=float(relevances[first]))
 
+    rounds = 0
+    rejected = 0
     while True:
         if max_selected is not None and len(selected) >= max_selected:
             break
@@ -229,6 +265,7 @@ def mmrfs(
             break
         if not available.any():
             break
+        rounds += 1
         gains = np.where(available, relevances - max_redundancy, -np.inf)
         best = int(np.argmax(gains))
         if not np.isfinite(gains[best]):
@@ -238,6 +275,13 @@ def mmrfs(
             select(best, gain=float(gains[best]))
         else:
             available[best] = False  # discard: cannot advance coverage
+            rejected += 1
+
+    if session is not None:
+        session.add("selection.mmrfs.candidates", len(patterns))
+        session.add("selection.mmrfs.rounds", rounds)
+        session.add("selection.mmrfs.accepted", len(selected))
+        session.add("selection.mmrfs.rejected", rejected)
 
     return SelectionResult(
         selected=selected,

@@ -1,0 +1,115 @@
+"""Tests for the CLI's --trace flag and the ``repro report`` command."""
+
+import io
+import json
+from contextlib import redirect_stderr, redirect_stdout
+
+import pytest
+
+from repro.cli import main
+from repro.obs import load_trace, validate_file
+
+
+def run_cli(*argv: str) -> str:
+    buffer = io.StringIO()
+    with redirect_stdout(buffer), redirect_stderr(io.StringIO()):
+        exit_code = main(list(argv))
+    assert exit_code == 0
+    return buffer.getvalue()
+
+
+class TestTraceFlag:
+    def test_mine_writes_schema_valid_trace(self, tmp_path):
+        trace_path = tmp_path / "mine.jsonl"
+        run_cli(
+            "mine", "austral", "--scale", "0.2", "--min-support", "0.4",
+            "--trace", str(trace_path),
+        )
+        assert trace_path.exists()
+        assert validate_file(trace_path) == []
+
+    def test_trace_manifest_pins_run_identity(self, tmp_path):
+        trace_path = tmp_path / "mine.jsonl"
+        argv = [
+            "mine", "austral", "--scale", "0.2", "--min-support", "0.4",
+            "--trace", str(trace_path),
+        ]
+        run_cli(*argv)
+        manifest = load_trace(trace_path).manifest
+        assert manifest["command"] == "mine"
+        assert manifest["argv"] == argv
+        assert manifest["config"]["min_support"] == 0.4
+        [entry] = manifest["datasets"]
+        assert entry["name"] == "austral"
+        assert entry["rows"] > 0
+        assert len(entry["content_hash"]) == 16
+
+    def test_dataset_hash_is_deterministic(self, tmp_path):
+        hashes = []
+        for name in ("a.jsonl", "b.jsonl"):
+            trace_path = tmp_path / name
+            run_cli(
+                "mine", "austral", "--scale", "0.2", "--min-support", "0.4",
+                "--trace", str(trace_path),
+            )
+            hashes.append(load_trace(trace_path).manifest["datasets"][0]["content_hash"])
+        assert hashes[0] == hashes[1]
+
+    def test_trace_contains_root_span_and_mining_counters(self, tmp_path):
+        trace_path = tmp_path / "mine.jsonl"
+        run_cli(
+            "mine", "austral", "--scale", "0.2", "--min-support", "0.4",
+            "--trace", str(trace_path),
+        )
+        trace = load_trace(trace_path)
+        roots = [s for s in trace.spans if s["parent"] is None]
+        assert [s["name"] for s in roots] == ["cli.mine"]
+        assert roots[0]["attrs"]["exit_status"] == 0
+        assert trace.counters["mining.generation.partitions"] >= 2
+        assert "mining.closed.patterns" in trace.counters
+
+    def test_evaluate_records_seed(self, tmp_path):
+        trace_path = tmp_path / "eval.jsonl"
+        run_cli(
+            "evaluate", "austral", "--scale", "0.15", "--folds", "2",
+            "--variants", "Item_All", "--seed", "42",
+            "--trace", str(trace_path),
+        )
+        assert validate_file(trace_path) == []
+        trace = load_trace(trace_path)
+        assert trace.manifest["seed"] == 42
+        assert trace.counters["eval.folds"] == 2
+
+    def test_no_trace_flag_leaves_no_session(self, tmp_path):
+        from repro.obs import active
+
+        run_cli("mine", "austral", "--scale", "0.2", "--min-support", "0.4")
+        assert active() is None
+
+
+class TestReportCommand:
+    def _traced_run(self, tmp_path):
+        trace_path = tmp_path / "mine.jsonl"
+        run_cli(
+            "mine", "austral", "--scale", "0.2", "--min-support", "0.4",
+            "--trace", str(trace_path),
+        )
+        return trace_path
+
+    def test_report_renders_summary(self, tmp_path):
+        trace_path = self._traced_run(tmp_path)
+        out = run_cli("report", str(trace_path))
+        assert "command : mine" in out
+        assert "cli.mine" in out
+        assert "mining.closed.patterns" in out
+        assert "dataset : austral" in out
+
+    def test_report_rejects_invalid_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(json.dumps({"type": "span"}) + "\n")
+        assert main(["report", str(bad)]) == 1
+        assert "schema violation" in capsys.readouterr().err
+
+    def test_report_missing_file_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such trace file"):
+            main(["report", str(tmp_path / "nope.jsonl")])

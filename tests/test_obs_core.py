@@ -1,0 +1,217 @@
+"""Tests for the instrumentation core: sessions, spans, counters, merging."""
+
+import threading
+
+import pytest
+
+from repro.obs import core as obs_core
+from repro.obs.core import ObsSession, active, session, worker_session
+
+
+class TestDisabledPath:
+    def test_no_session_by_default(self):
+        assert active() is None
+
+    def test_helpers_are_noops_without_session(self):
+        # None of these may raise or allocate a session.
+        obs_core.add("some.counter", 5)
+        obs_core.record("some.series", 1.0)
+        obs_core.event("kind", "message")
+        with obs_core.span("phase", detail=1) as sp:
+            sp.set(more=2)
+        assert active() is None
+
+    def test_disabled_span_is_shared_singleton(self):
+        assert obs_core.span("a") is obs_core.span("b")
+
+
+class TestSessionLifecycle:
+    def test_install_and_uninstall(self):
+        with session() as sess:
+            assert active() is sess
+        assert active() is None
+
+    def test_nesting_raises(self):
+        with session():
+            with pytest.raises(RuntimeError, match="already active"):
+                with session():
+                    pass
+
+    def test_uninstalled_after_exception(self):
+        with pytest.raises(ValueError):
+            with session():
+                raise ValueError("boom")
+        assert active() is None
+
+    def test_worker_session_shadows_and_restores(self):
+        with session() as outer:
+            with worker_session() as inner:
+                assert active() is inner
+                assert inner is not outer
+            assert active() is outer
+
+
+class TestSpans:
+    def test_span_records_timing_and_identity(self):
+        with session() as sess:
+            with obs_core.span("work", size=3) as sp:
+                sp.set(done=True)
+        [record] = sess.spans
+        assert record["name"] == "work"
+        assert record["parent"] is None
+        assert record["wall_s"] >= 0 and record["cpu_s"] >= 0
+        assert record["attrs"] == {"size": 3, "done": True}
+        assert isinstance(record["id"], str) and record["pid"] > 0
+
+    def test_nesting_builds_a_tree(self):
+        with session() as sess:
+            with obs_core.span("outer") as outer:
+                with obs_core.span("inner"):
+                    pass
+        inner, outer_rec = sess.spans  # completion order: inner first
+        assert inner["name"] == "inner"
+        assert inner["parent"] == outer.span_id
+        assert outer_rec["parent"] is None
+
+    def test_exception_marks_span_and_propagates(self):
+        with session() as sess:
+            with pytest.raises(KeyError):
+                with obs_core.span("failing"):
+                    raise KeyError("x")
+        [record] = sess.spans
+        assert record["attrs"]["error"] == "KeyError"
+
+    def test_sibling_threads_get_separate_branches(self):
+        with session() as sess:
+            with obs_core.span("root") as root:
+                parent_id = sess.current_span_id()
+
+                def branch(name):
+                    with sess.thread_context(parent_id):
+                        with obs_core.span(name):
+                            pass
+
+                threads = [
+                    threading.Thread(target=branch, args=(f"t{i}",))
+                    for i in range(3)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+        children = [s for s in sess.spans if s["name"] != "root"]
+        assert len(children) == 3
+        assert all(s["parent"] == root.span_id for s in children)
+
+    def test_span_ids_unique(self):
+        with session() as sess:
+            for _ in range(50):
+                with obs_core.span("x"):
+                    pass
+        ids = [s["id"] for s in sess.spans]
+        assert len(set(ids)) == len(ids)
+
+
+class TestCountersSeriesEvents:
+    def test_counters_accumulate(self):
+        with session() as sess:
+            obs_core.add("hits")
+            obs_core.add("hits", 4)
+            obs_core.add("volume", 2.5)
+        assert sess.counters == {"hits": 5, "volume": 2.5}
+
+    def test_series_append_in_order(self):
+        with session() as sess:
+            for v in (3, 1, 2):
+                obs_core.record("progress", v)
+        assert sess.series == {"progress": [3, 1, 2]}
+
+    def test_event_payload(self):
+        with session() as sess:
+            obs_core.event("warning", "it happened", code=7)
+        [event] = sess.events
+        assert event["kind"] == "warning"
+        assert event["message"] == "it happened"
+        assert event["attrs"] == {"code": 7}
+
+    def test_concurrent_adds_do_not_lose_increments(self):
+        with session() as sess:
+            def bump():
+                for _ in range(1000):
+                    sess.add("n")
+
+            threads = [threading.Thread(target=bump) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert sess.counters["n"] == 4000
+
+    def test_n_ops_counts_instrumentation_work(self):
+        with session() as sess:
+            obs_core.add("a")
+            obs_core.record("b", 1)
+            obs_core.event("c", "d")
+            with obs_core.span("e"):
+                pass
+        assert sess.n_ops == 4
+
+
+class TestWarn:
+    def test_warns_without_session(self):
+        with pytest.warns(RuntimeWarning, match="degraded"):
+            obs_core.warn("degraded mode")
+
+    def test_warns_and_records_with_session(self):
+        with session() as sess:
+            with pytest.warns(RuntimeWarning):
+                obs_core.warn("degraded mode", jobs=4)
+        [event] = sess.events
+        assert event["kind"] == "warning"
+        assert event["attrs"] == {"jobs": 4}
+
+
+class TestExportAbsorb:
+    def _worker_payload(self):
+        worker = ObsSession()
+        with worker.span("worker.root"):
+            with worker.span("worker.child"):
+                pass
+        worker.add("work.done", 3)
+        worker.record("work.series", 9)
+        worker.event("note", "from worker")
+        return worker.export()
+
+    def test_absorb_reparents_worker_roots(self):
+        payload = self._worker_payload()
+        with session() as sess:
+            with obs_core.span("launch") as launch:
+                sess.absorb(payload, parent_id=launch.span_id)
+        by_name = {s["name"]: s for s in sess.spans}
+        assert by_name["worker.root"]["parent"] == launch.span_id
+        # Internal structure preserved: child still points at worker root.
+        assert by_name["worker.child"]["parent"] == by_name["worker.root"]["id"]
+
+    def test_absorb_merges_counters_series_events(self):
+        payload = self._worker_payload()
+        with session() as sess:
+            sess.add("work.done", 1)
+            sess.absorb(payload)
+            sess.absorb(payload)
+        assert sess.counters["work.done"] == 7
+        assert sess.series["work.series"] == [9, 9]
+        assert len(sess.events) == 2
+
+    def test_export_is_picklable(self):
+        import pickle
+
+        payload = self._worker_payload()
+        assert pickle.loads(pickle.dumps(payload)) == payload
+
+
+class TestManifest:
+    def test_annotate_manifest_appends(self):
+        sess = ObsSession()
+        sess.annotate_manifest("datasets", {"name": "a"})
+        sess.annotate_manifest("datasets", {"name": "b"})
+        assert [d["name"] for d in sess.manifest["datasets"]] == ["a", "b"]

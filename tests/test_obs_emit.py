@@ -1,0 +1,174 @@
+"""Tests for trace emission, the JSONL schema validator, and the report."""
+
+import json
+
+from repro.obs import (
+    ObsSession,
+    build_manifest,
+    load_trace,
+    phase_rollup,
+    render_report,
+    trace_lines,
+    validate_file,
+    validate_lines,
+    write_trace,
+)
+from repro.obs import core as obs_core
+from repro.obs.core import session
+
+
+def _recorded_session() -> ObsSession:
+    with session() as sess:
+        with obs_core.span("phase.a"):
+            with obs_core.span("phase.b"):
+                pass
+        obs_core.add("counter.x", 10)
+        obs_core.record("series.y", 0.5)
+        obs_core.event("note", "hello")
+    return sess
+
+
+class TestTraceLines:
+    def test_line_ordering(self):
+        lines = trace_lines(_recorded_session())
+        types = [line["type"] for line in lines]
+        assert types[0] == "manifest"
+        assert types[-1] == "rollup"
+        assert types.count("span") == 2
+        assert "counter" in types and "series" in types and "event" in types
+
+    def test_manifest_defaults_filled(self):
+        head = trace_lines(ObsSession())[0]
+        for key in ("command", "argv", "config", "datasets", "schema_version"):
+            assert key in head
+
+    def test_session_manifest_used(self):
+        sess = _recorded_session()
+        sess.manifest.update(build_manifest("mine", {"min_support": 0.1}, seed=7))
+        head = trace_lines(sess)[0]
+        assert head["command"] == "mine"
+        assert head["seed"] == 7
+        assert head["config"] == {"min_support": 0.1}
+
+    def test_rollup_aggregates_by_name(self):
+        rollup = trace_lines(_recorded_session())[-1]
+        assert rollup["phases"]["phase.a"]["count"] == 1
+        assert rollup["phases"]["phase.b"]["count"] == 1
+        assert rollup["counters"] == {"counter.x": 10}
+
+
+class TestPhaseRollup:
+    def test_sums_across_same_name(self):
+        spans = [
+            {"name": "p", "wall_s": 1.0, "cpu_s": 0.5},
+            {"name": "p", "wall_s": 2.0, "cpu_s": 0.25},
+            {"name": "q", "wall_s": 4.0, "cpu_s": 4.0},
+        ]
+        phases = phase_rollup(spans)
+        assert phases["p"] == {"count": 2, "wall_s": 3.0, "cpu_s": 0.75}
+        assert phases["q"]["count"] == 1
+
+
+class TestRoundTrip:
+    def test_written_trace_validates(self, tmp_path):
+        sess = _recorded_session()
+        sess.manifest.update(build_manifest("test", {}))
+        path = write_trace(tmp_path / "t.jsonl", sess)
+        assert validate_file(path) == []
+
+    def test_written_trace_loads_back(self, tmp_path):
+        sess = _recorded_session()
+        path = write_trace(tmp_path / "t.jsonl", sess)
+        trace = load_trace(path)
+        assert {s["name"] for s in trace.spans} == {"phase.a", "phase.b"}
+        assert trace.counters == {"counter.x": 10}
+        assert trace.series == {"series.y": [0.5]}
+        assert len(trace.events) == 1
+        assert trace.rollup["n_spans"] == 2
+
+
+class TestValidator:
+    def _valid_lines(self):
+        sess = _recorded_session()
+        return [json.dumps(line) for line in trace_lines(sess)]
+
+    def test_accepts_valid_trace(self):
+        assert validate_lines(self._valid_lines()) == []
+
+    def test_empty_trace_rejected(self):
+        assert validate_lines([]) == ["trace is empty"]
+
+    def test_invalid_json_reported(self):
+        errors = validate_lines(["not json"])
+        assert any("invalid JSON" in e for e in errors)
+
+    def test_missing_manifest_rejected(self):
+        lines = self._valid_lines()[1:]
+        errors = validate_lines(lines)
+        assert any("manifest" in e for e in errors)
+
+    def test_rollup_must_be_last(self):
+        lines = self._valid_lines()
+        lines.append(json.dumps({"type": "event", "kind": "k", "message": "m"}))
+        errors = validate_lines(lines)
+        assert any("rollup must be the last line" in e for e in errors)
+
+    def test_unknown_parent_rejected(self):
+        lines = self._valid_lines()
+        span = json.loads(lines[1])
+        assert span["type"] == "span"
+        span["parent"] = "no-such-id"
+        lines[1] = json.dumps(span)
+        errors = validate_lines(lines)
+        assert any("not found in trace" in e for e in errors)
+
+    def test_non_numeric_counter_rejected(self):
+        lines = self._valid_lines()
+        lines.insert(1, json.dumps({"type": "counter", "name": "c", "value": "x"}))
+        errors = validate_lines(lines)
+        assert any("counter value must be numeric" in e for e in errors)
+
+    def test_wrong_schema_version_rejected(self):
+        lines = self._valid_lines()
+        head = json.loads(lines[0])
+        head["schema_version"] = 99
+        lines[0] = json.dumps(head)
+        errors = validate_lines(lines)
+        assert any("schema_version" in e for e in errors)
+
+    def test_unknown_line_type_rejected(self):
+        lines = self._valid_lines()
+        lines.insert(1, json.dumps({"type": "mystery"}))
+        errors = validate_lines(lines)
+        assert any("unknown line type" in e for e in errors)
+
+
+class TestReport:
+    def test_report_renders_all_sections(self, tmp_path):
+        sess = _recorded_session()
+        sess.manifest.update(build_manifest("mine", {}, seed=3))
+        sess.annotate_manifest(
+            "datasets",
+            {"name": "austral", "rows": 690, "content_hash": "abc123"},
+        )
+        path = write_trace(tmp_path / "t.jsonl", sess)
+        text = render_report(load_trace(path))
+        assert "command : mine" in text
+        assert "seed    : 3" in text
+        assert "dataset : austral" in text and "abc123" in text
+        assert "phase.a" in text and "phase.b" in text
+        assert "counter.x" in text
+        assert "series.y" in text and "points=1" in text
+        assert "[note] hello" in text
+
+    def test_report_without_rollup_falls_back_to_spans(self, tmp_path):
+        sess = _recorded_session()
+        path = tmp_path / "t.jsonl"
+        lines = [
+            json.dumps(line)
+            for line in trace_lines(sess)
+            if line["type"] != "rollup"
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        trace = load_trace(path)
+        assert trace.phases["phase.a"]["count"] == 1
