@@ -1,12 +1,15 @@
 # Common development commands.
 
-.PHONY: install test bench report examples clean
+.PHONY: install test test-fast bench report examples clean
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	pytest tests/
+
+test-fast:
+	PYTHONPATH=src python -m pytest -x -q -m "not slow"
 
 test-output:
 	pytest tests/ 2>&1 | tee test_output.txt

@@ -17,11 +17,21 @@ Commands
     Regenerate one of the paper's figures (1-3) as text series.
 ``report``
     Validate and summarize a JSONL trace written by ``--trace``.
+``experiment``
+    Run the checkpointed end-to-end experiment (mine → select →
+    cross-validate) into a run directory; ``--resume`` restores completed
+    stages after a crash.
 
 Every experiment command accepts ``--trace FILE``: the run then executes
 inside an instrumentation session (:mod:`repro.obs`) and writes a JSONL
 trace — run manifest first, then spans/counters/series/events, then a
 per-phase rollup — which ``repro report FILE`` renders as a summary.
+
+Error paths exit with *distinct* codes so scripts and CI can tell
+failure modes apart without parsing stderr: ``3`` for a missing
+input (trace file, run directory), ``4`` for schema-invalid input (a
+malformed trace, a resume fingerprint mismatch), ``5`` for a corrupt
+checkpoint artifact.
 """
 
 from __future__ import annotations
@@ -33,7 +43,18 @@ from pathlib import Path
 from .datasets import TransactionDataset, available_datasets, load_uci
 from .datasets.uci import SCALABILITY_SPECS, UCI_SPECS
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "EXIT_MISSING_INPUT",
+    "EXIT_SCHEMA_INVALID",
+    "EXIT_CORRUPT_CHECKPOINT",
+]
+
+#: Distinct error exit codes (0 = success, 1 = generic, 2 = argparse usage).
+EXIT_MISSING_INPUT = 3
+EXIT_SCHEMA_INVALID = 4
+EXIT_CORRUPT_CHECKPOINT = 5
 
 
 def _load_transactions(source: str, scale: float) -> TransactionDataset:
@@ -231,14 +252,64 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     path = Path(args.trace_file)
     if not path.exists():
-        raise SystemExit(f"no such trace file: {path}")
+        print(f"no such trace file: {path}", file=sys.stderr)
+        return EXIT_MISSING_INPUT
     errors = validate_file(path)
     if errors:
         print(f"{path}: {len(errors)} schema violation(s)", file=sys.stderr)
         for error in errors:
             print(f"  {error}", file=sys.stderr)
-        return 1
+        return EXIT_SCHEMA_INVALID
     print(render_report(load_trace(path)))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .runtime.cache import CorruptArtifactError
+    from .runtime.experiment import (
+        ExperimentSpec,
+        ResumeMismatchError,
+        ResumeMissingError,
+        run_experiment,
+    )
+
+    data = _load_transactions(args.dataset, args.scale)
+    spec = ExperimentSpec(
+        dataset=args.dataset,
+        scale=args.scale,
+        min_support=args.min_support,
+        max_length=args.max_length,
+        delta=args.delta,
+        relevance=args.relevance,
+        variant=args.variant,
+        model=args.model,
+        folds=args.folds,
+        seed=args.seed,
+    )
+    try:
+        result = run_experiment(
+            data,
+            spec,
+            out_dir=args.out,
+            resume=args.resume,
+            n_jobs=args.jobs,
+        )
+    except ResumeMissingError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_MISSING_INPUT
+    except ResumeMismatchError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_SCHEMA_INVALID
+    except CorruptArtifactError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_CORRUPT_CHECKPOINT
+    report = result.cv
+    print(
+        f"{data.name:10s} {spec.variant:10s} "
+        f"{100 * report.mean_accuracy:6.2f}% ± {100 * report.std_accuracy:.2f}  "
+        f"({result.n_patterns} mined, {result.n_selected} selected)"
+    )
+    print(f"artifacts in {result.out_dir}")
     return 0
 
 
@@ -345,6 +416,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("trace_file", help="trace written by --trace")
     report.set_defaults(handler=_cmd_report)
+
+    experiment = commands.add_parser(
+        "experiment",
+        help="run the checkpointed end-to-end experiment (resumable)",
+    )
+    add_common(experiment)
+    experiment.add_argument(
+        "--out", required=True, metavar="DIR",
+        help="run directory for checkpoints and final artifacts",
+    )
+    experiment.add_argument(
+        "--resume", action="store_true",
+        help="restore completed stages from DIR instead of starting fresh",
+    )
+    experiment.add_argument("--delta", type=int, default=3)
+    experiment.add_argument(
+        "--relevance", choices=("information_gain", "fisher", "chi2"),
+        default="information_gain",
+    )
+    experiment.add_argument(
+        "--variant", default="Pat_FS",
+        help="model variant column (e.g. Pat_FS, Pat_All, Item_All)",
+    )
+    experiment.add_argument("--model", choices=("svm", "c45"), default="svm")
+    experiment.add_argument("--folds", type=int, default=3)
+    experiment.add_argument("--seed", type=int, default=0)
+    add_trace(experiment)
+    experiment.set_defaults(handler=_cmd_experiment)
 
     return parser
 

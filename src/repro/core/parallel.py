@@ -14,12 +14,30 @@ means one worker per CPU.  Mining partitions use process workers (the
 miners are pure-Python and GIL-bound); fold evaluation uses threads so
 non-picklable pipeline factories (closures) keep working.
 
+**Fault tolerance.**  Real process pools die: a worker OOM-killed or
+segfaulted surfaces as :class:`~concurrent.futures.process.BrokenProcessPool`
+for every in-flight item, and by default that still propagates.  Passing
+a :class:`RetryPolicy` makes such *transient* failures survivable: the
+pool is rebuilt and only the items without a completed result are
+resubmitted, after an exponential backoff — results that finished before
+the crash are never recomputed.  Exceptions raised *by the mapped
+function* are deterministic and always fail fast (first in item order),
+retried or not; retrying a genuine bug would just repeat it.  When the
+retry budget is exhausted, :class:`WorkerCrashError` is raised with the
+original pool failure as its cause.
+
 Instrumentation (:mod:`repro.obs`) is fan-out aware: with a session
 active, process workers record into a fresh per-worker session whose
 export rides back with each result and is merged — re-parented under the
 launching span — in submission order, and thread workers adopt the
-launching span as their parent directly.  With no session active the
-submitted payloads are exactly the bare ``(fn, item)`` calls of before.
+launching span as their parent directly.  With no session active (and no
+fault plan staged) the submitted payloads are exactly the bare
+``(fn, item)`` calls of before.  Each retry round is announced on the
+obs event channel (``worker_retry``).
+
+Process workers expose a ``worker:<index>`` fault-injection point
+(:mod:`repro.testing.faults`), which is how the robustness suite stages
+worker deaths deterministically.
 
 On platforms whose process pools are unusable (no working semaphore
 support — some sandboxes and WebAssembly builds), a requested process
@@ -30,17 +48,68 @@ obs event channel rather than failing or silently diverging.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Iterable, Literal, Sequence, TypeVar
+from concurrent.futures import BrokenExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Literal, Sequence, TypeVar
 
 from ..obs import core as _obs
+from ..testing import faults as _faults
 
-__all__ = ["resolve_n_jobs", "parallel_map", "process_pool_available"]
+__all__ = [
+    "RetryPolicy",
+    "WorkerCrashError",
+    "resolve_n_jobs",
+    "parallel_map",
+    "process_pool_available",
+]
 
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
 
 ExecutorKind = Literal["process", "thread"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff for transient process-pool failures.
+
+    ``max_retries`` bounds how many times a broken pool is rebuilt; the
+    wait before retry ``k`` (0-based) is
+    ``min(backoff_cap, backoff_base * backoff_factor ** k)`` — fully
+    deterministic, so retried runs stay reproducible.
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_cap: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff delays must be >= 0")
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before retry number ``attempt`` (0-based)."""
+        return min(
+            self.backoff_cap,
+            self.backoff_base * self.backoff_factor ** attempt,
+        )
+
+
+class WorkerCrashError(RuntimeError):
+    """A process fan-out kept losing workers past its retry budget."""
+
+    def __init__(self, attempts: int, n_failed: int) -> None:
+        self.attempts = attempts
+        self.n_failed = n_failed
+        super().__init__(
+            f"process pool broke on {n_failed} item(s) after "
+            f"{attempts} attempt(s)"
+        )
 
 
 def resolve_n_jobs(n_jobs: int | None) -> int:
@@ -73,16 +142,114 @@ def process_pool_available() -> bool:
     return True
 
 
+def _call_worker(payload: tuple) -> Any:
+    """Run one fan-out item in a process worker (no obs session).
+
+    Module-level so process pools can pickle it.  Used instead of a bare
+    submit only when a fault plan is staged, so the ``worker:<index>``
+    injection point exists on this path too.
+    """
+    fn, item, index = payload
+    _faults.fault_point("worker", str(index))
+    return fn(item)
+
+
 def _call_with_worker_obs(payload: tuple) -> tuple:
     """Run one fan-out item in a process worker under a fresh obs session.
 
     Module-level so process pools can pickle it.  Returns the result
     paired with the worker session's export for the parent to absorb.
     """
-    fn, item = payload
+    fn, item, index = payload
+    _faults.fault_point("worker", str(index))
     with _obs.worker_session() as worker:
         result = fn(item)
     return result, worker.export()
+
+
+def _collect_batch(
+    fn: Callable,
+    items: Sequence,
+    indices: Sequence[int],
+    workers: int,
+    task: Callable | None,
+    results: dict[int, Any],
+) -> None:
+    """Run ``indices`` through one process pool, recording into ``results``.
+
+    ``task`` is the picklable wrapper to submit (``None`` = bare
+    ``fn(item)``).  Collects in item order; a function-raised exception
+    propagates immediately, while pool breakage is re-raised *after* all
+    completed results have been harvested, so the caller retries only the
+    genuinely lost items.
+    """
+    broken: BrokenExecutor | None = None
+    with ProcessPoolExecutor(max_workers=min(workers, len(indices))) as pool:
+        if task is None:
+            futures = {i: pool.submit(fn, items[i]) for i in indices}
+        else:
+            futures = {
+                i: pool.submit(task, (fn, items[i], i)) for i in indices
+            }
+        for i in indices:
+            try:
+                results[i] = futures[i].result()
+            except BrokenExecutor as exc:
+                broken = broken if broken is not None else exc
+    if broken is not None:
+        raise broken
+
+
+def _process_map(
+    fn: Callable,
+    items: Sequence,
+    workers: int,
+    retry: RetryPolicy | None,
+) -> list:
+    """Process-pool fan-out with transparent retry of broken pools."""
+    session = _obs.active()
+    if session is None and not _faults.faults_enabled():
+        task = None
+    elif session is None:
+        task = _call_worker
+    else:
+        task = _call_with_worker_obs
+
+    results: dict[int, Any] = {}
+    pending = list(range(len(items)))
+    attempt = 0
+    while True:
+        try:
+            _collect_batch(fn, items, pending, workers, task, results)
+        except BrokenExecutor as exc:
+            failed = [i for i in pending if i not in results]
+            if retry is None or attempt >= retry.max_retries:
+                raise WorkerCrashError(attempt + 1, len(failed)) from exc
+            delay = retry.delay(attempt)
+            _obs.event(
+                "worker_retry",
+                f"process pool broke on {len(failed)} item(s); "
+                f"retry {attempt + 1}/{retry.max_retries} in {delay:g}s",
+                attempt=attempt + 1,
+                max_retries=retry.max_retries,
+                failed_items=len(failed),
+                delay_s=delay,
+            )
+            time.sleep(delay)
+            attempt += 1
+            pending = failed
+            continue
+        break
+
+    if session is None:
+        return [results[i] for i in range(len(items))]
+    parent_id = session.current_span_id()
+    ordered = []
+    for i in range(len(items)):
+        result, export = results[i]
+        session.absorb(export, parent_id=parent_id)
+        ordered.append(result)
+    return ordered
 
 
 def parallel_map(
@@ -90,6 +257,7 @@ def parallel_map(
     items: Iterable[ItemT],
     n_jobs: int | None = 1,
     executor: ExecutorKind = "process",
+    retry: RetryPolicy | None = None,
 ) -> list[ResultT]:
     """Ordered map over ``items`` with optional process/thread fan-out.
 
@@ -98,6 +266,12 @@ def parallel_map(
     behavior.  With more workers, all items are submitted up front and
     results are collected in submission order; if any call raises, the
     first exception *in item order* propagates.
+
+    ``retry`` (process pools only) makes broken-pool failures — a worker
+    killed mid-task — survivable: lost items are resubmitted to a fresh
+    pool with exponential backoff, completed results are kept, and
+    exceeding the budget raises :class:`WorkerCrashError`.  Exceptions
+    raised by ``fn`` itself are never retried.
 
     For ``executor="process"``, ``fn`` and the items must be picklable
     (use module-level functions / :func:`functools.partial`).
@@ -115,39 +289,23 @@ def parallel_map(
     if workers <= 1:
         return [fn(item) for item in items]
     if executor == "process":
-        pool_cls: type = ProcessPoolExecutor
-    elif executor == "thread":
-        pool_cls = ThreadPoolExecutor
-    else:
+        return _process_map(fn, items, workers, retry)
+    if executor != "thread":
         raise ValueError(f"executor must be 'process' or 'thread', got {executor!r}")
 
     session = _obs.active()
     if session is None:
-        with pool_cls(max_workers=workers) as pool:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
             futures = [pool.submit(fn, item) for item in items]
             return [future.result() for future in futures]
 
     parent_id = session.current_span_id()
-    if executor == "thread":
-        # Same process: workers record straight into the session, adopting
-        # the launching span as their thread's root parent.
-        def bound(item: ItemT) -> ResultT:
-            with session.thread_context(parent_id):
-                return fn(item)
+    # Same process: workers record straight into the session, adopting
+    # the launching span as their thread's root parent.
+    def bound(item: ItemT) -> ResultT:
+        with session.thread_context(parent_id):
+            return fn(item)
 
-        with pool_cls(max_workers=workers) as pool:
-            futures = [pool.submit(bound, item) for item in items]
-            return [future.result() for future in futures]
-
-    # Process workers: each runs under a fresh session (fork-inherited
-    # parent state shadowed) and ships its recordings back with the result.
-    with pool_cls(max_workers=workers) as pool:
-        futures = [
-            pool.submit(_call_with_worker_obs, (fn, item)) for item in items
-        ]
-        outcomes = [future.result() for future in futures]
-    results: list[ResultT] = []
-    for result, export in outcomes:
-        session.absorb(export, parent_id=parent_id)
-        results.append(result)
-    return results
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(bound, item) for item in items]
+        return [future.result() for future in futures]

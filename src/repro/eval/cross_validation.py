@@ -101,6 +101,7 @@ def cross_validate_pipeline(
     seed: int = 0,
     model_name: str = "model",
     n_jobs: int | None = 1,
+    checkpoint=None,
 ) -> CVReport:
     """Outer k-fold evaluation of a pipeline factory.
 
@@ -113,11 +114,30 @@ def cross_validate_pipeline(
     so nothing is shared mutably, and factories may be closures (which a
     process pool could not pickle).  Fold order and scores are identical
     to the serial run.
+
+    ``checkpoint`` is an optional fold-outcome store (anything with
+    ``load(fold_index) -> FoldScore | None`` and ``store(fold_index,
+    FoldScore)`` — e.g. :class:`repro.runtime.experiment.FoldCheckpointer`):
+    completed folds are persisted as they finish and restored instead of
+    re-evaluated on a resumed run.  Because a fold's outcome is fully
+    determined by (data, factory config, seed), a restored score is
+    identical to a recomputed one.
     """
     folds = stratified_kfold(data.labels, n_folds=n_folds, seed=seed)
 
     def run_fold(job: tuple[int, tuple[np.ndarray, np.ndarray]]) -> FoldScore:
         fold_index, (train_indices, test_indices) = job
+        if checkpoint is not None:
+            restored = checkpoint.load(fold_index)
+            if restored is not None:
+                _obs.event(
+                    "stage_skipped",
+                    f"fold {fold_index}: restored outcome from checkpoint",
+                    stage="fold",
+                    fold=fold_index,
+                    model=model_name,
+                )
+                return restored
         with _obs.span(
             "eval.fold", fold=fold_index, model=model_name
         ) as fold_span:
@@ -138,6 +158,8 @@ def cross_validate_pipeline(
                 selected_patterns=score.n_selected_patterns,
             )
         _obs.record("eval.fold_accuracy", score.accuracy)
+        if checkpoint is not None:
+            checkpoint.store(fold_index, score)
         return score
 
     with _obs.span(

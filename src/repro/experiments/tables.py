@@ -12,7 +12,7 @@ rendering.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..classifiers.base import Classifier
 from ..classifiers.decision_tree import DecisionTree
@@ -23,6 +23,9 @@ from ..datasets.uci import load_uci
 from ..eval.cross_validation import cross_validate_pipeline
 from ..features.pipeline import FrequentPatternClassifier
 from .registry import ExperimentConfig, config_for
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.cache import ArtifactCache
 
 __all__ = [
     "SVM_VARIANTS",
@@ -149,6 +152,7 @@ def run_accuracy_table(
     scale: float = 1.0,
     seed: int = 0,
     variants: Sequence[str] | None = None,
+    cache: "ArtifactCache | None" = None,
 ) -> AccuracyTable:
     """Reproduce Table 1 (``model="svm"``) or Table 2 (``model="c45"``).
 
@@ -160,6 +164,12 @@ def run_accuracy_table(
         Row-count multiplier for laptop-scale runs (structure preserved).
     variants:
         Subset of columns (defaults to the full paper column set).
+    cache:
+        Optional :class:`~repro.runtime.cache.ArtifactCache`: every
+        (dataset, variant, fold) cell outcome is checkpointed — keyed by
+        dataset content hash, model family, fold count, seed and scale —
+        so an interrupted table run picks up where it left off instead of
+        re-evaluating hours of completed cells.
     """
     if variants is None:
         variants = SVM_VARIANTS if model == "svm" else C45_VARIANTS
@@ -170,8 +180,27 @@ def run_accuracy_table(
         row = AccuracyRow(dataset=name)
         for variant in variants:
             factory = make_variant(variant, model, config)
+            checkpoint = None
+            if cache is not None:
+                from ..runtime.cache import fingerprint
+                from ..runtime.experiment import FoldCheckpointer
+
+                cell_key = fingerprint(
+                    stage="accuracy_table_cell",
+                    dataset_hash=data.content_hash(),
+                    model=model,
+                    n_folds=n_folds,
+                    seed=seed,
+                    scale=scale,
+                )
+                checkpoint = FoldCheckpointer(cache, cell_key, variant)
             report = cross_validate_pipeline(
-                factory, data, n_folds=n_folds, seed=seed, model_name=variant
+                factory,
+                data,
+                n_folds=n_folds,
+                seed=seed,
+                model_name=variant,
+                checkpoint=checkpoint,
             )
             row.accuracies[variant] = 100.0 * report.mean_accuracy
         rows.append(row)

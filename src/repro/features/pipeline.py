@@ -92,6 +92,13 @@ class FrequentPatternClassifier:
         (``1`` = serial, ``-1`` = all CPUs); forwarded to
         :func:`~repro.mining.generation.mine_class_patterns`.  The fitted
         model is independent of ``n_jobs``.
+    on_guard:
+        ``"raise"`` (default) propagates mining guard trips
+        (:class:`~repro.mining.itemsets.PatternBudgetExceeded`, time
+        limit); ``"items_only"`` degrades the tripping class partition to
+        items-only features — a fit that would have aborted instead
+        produces a model whose feature space simply lacks that
+        partition's patterns (with a warning event).
 
     Notes
     -----
@@ -121,6 +128,7 @@ class FrequentPatternClassifier:
         classifier_candidates: list | None = None,
         inner_folds: int = 3,
         n_jobs: int | None = 1,
+        on_guard: str = "raise",
     ) -> None:
         self.classifier = classifier if classifier is not None else LinearSVM()
         self.min_support = min_support
@@ -139,6 +147,7 @@ class FrequentPatternClassifier:
         self.classifier_candidates = classifier_candidates
         self.inner_folds = inner_folds
         self.n_jobs = n_jobs
+        self.on_guard = on_guard
 
         self.model_: Classifier | None = None
         self.candidate_scores_: list = []
@@ -235,6 +244,7 @@ class FrequentPatternClassifier:
                     max_length=self.max_length,
                     max_patterns=self.max_patterns,
                     n_jobs=self.n_jobs,
+                    on_guard=self.on_guard,
                 )
                 self.mined_patterns_ = self._cap_candidates(
                     mined.patterns, transactions

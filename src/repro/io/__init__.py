@@ -5,9 +5,12 @@ from .csvio import read_csv, write_csv
 from .models import load_pipeline, model_from_json, model_to_json, save_pipeline
 from .serialize import (
     load_patterns,
+    load_selection,
     patterns_from_json,
     patterns_to_json,
     save_patterns,
+    save_selection,
+    selection_from_json,
     selection_to_json,
 )
 
@@ -21,6 +24,9 @@ __all__ = [
     "save_patterns",
     "load_patterns",
     "selection_to_json",
+    "selection_from_json",
+    "save_selection",
+    "load_selection",
     "save_pipeline",
     "load_pipeline",
     "model_to_json",

@@ -12,6 +12,8 @@ import io
 import json
 from pathlib import Path
 
+import numpy as np
+
 from ..datasets.transactions import ItemCatalog
 from ..mining.itemsets import MiningResult, Pattern
 from ..selection.mmrfs import SelectedFeature, SelectionResult
@@ -22,6 +24,9 @@ __all__ = [
     "save_patterns",
     "load_patterns",
     "selection_to_json",
+    "selection_from_json",
+    "save_selection",
+    "load_selection",
 ]
 
 _FORMAT_VERSION = 1
@@ -104,5 +109,58 @@ def selection_to_json(
         "delta": selection.delta,
         "considered": selection.considered,
         "fully_covered": selection.fully_covered,
+        "coverage_counts": [int(c) for c in selection.coverage_counts],
         "selected": [feature_entry(f) for f in selection.selected],
     }
+
+
+def selection_from_json(payload: dict) -> SelectionResult:
+    """Inverse of :func:`selection_to_json`.
+
+    Exact on everything the forward direction emits — features (with
+    relevance/gain diagnostics bit-for-bit, since JSON floats round-trip
+    exactly), selection order, delta and coverage counts — which is what
+    lets a resumed run reuse a checkpointed selection byte-identically.
+    """
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported selection format version: {version}")
+    selected = [
+        SelectedFeature(
+            pattern=Pattern(
+                items=tuple(entry["items"]), support=int(entry["support"])
+            ),
+            relevance=float(entry["relevance"]),
+            gain=float(entry["gain"]),
+            majority_class=int(entry["majority_class"]),
+            order=int(entry["order"]),
+        )
+        for entry in payload["selected"]
+    ]
+    return SelectionResult(
+        selected=selected,
+        coverage_counts=np.asarray(payload["coverage_counts"], dtype=np.int64),
+        delta=int(payload["delta"]),
+        considered=int(payload["considered"]),
+    )
+
+
+def save_selection(
+    selection: SelectionResult,
+    target: str | Path | io.TextIOBase,
+    catalog: ItemCatalog | None = None,
+) -> None:
+    """Persist a selection result as JSON."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            save_selection(selection, handle, catalog)
+            return
+    json.dump(selection_to_json(selection, catalog), target, indent=1)
+
+
+def load_selection(source: str | Path | io.TextIOBase) -> SelectionResult:
+    """Load a selection result saved by :func:`save_selection`."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return load_selection(handle)
+    return selection_from_json(json.load(source))

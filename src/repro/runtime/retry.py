@@ -1,0 +1,36 @@
+"""Retry policy and failure classification for the resumable runtime.
+
+The mechanics live next to the fan-out they guard
+(:mod:`repro.core.parallel`, where :class:`RetryPolicy` and
+:class:`WorkerCrashError` are defined); this module is the runtime-facing
+surface, adding the transient-vs-deterministic classification the
+experiment driver reasons with:
+
+* **transient** — the *executor* failed (worker killed, broken pipe,
+  :class:`~concurrent.futures.process.BrokenProcessPool`): the work
+  itself was never judged, so re-running it is sound;
+* **deterministic** — the mapped function *raised*: the same inputs will
+  raise again, so retrying only wastes the budget and delays the
+  diagnosis.  These always fail fast.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import BrokenExecutor
+
+from ..core.parallel import RetryPolicy, WorkerCrashError
+
+__all__ = [
+    "DEFAULT_RETRY",
+    "RetryPolicy",
+    "WorkerCrashError",
+    "is_transient",
+]
+
+#: The runtime's default policy: three attempts total, 50ms/100ms backoff.
+DEFAULT_RETRY = RetryPolicy(max_retries=2, backoff_base=0.05)
+
+
+def is_transient(exc: BaseException) -> bool:
+    """True when ``exc`` reports infrastructure failure, not a code bug."""
+    return isinstance(exc, (BrokenExecutor, ConnectionError, InterruptedError))

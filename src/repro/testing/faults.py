@@ -1,0 +1,235 @@
+"""Deterministic, seedable fault injection for robustness tests.
+
+The runtime's resilience claims — crashed runs resume, dead workers are
+retried, corrupt checkpoints are detected — are only worth anything if
+they are *reproducible test outcomes*.  This module turns each failure
+mode into one the test suite can stage on demand:
+
+* **crash-at-stage-N** — an ``exit`` fault at a ``stage:<name>`` point
+  terminates the process (``os._exit``) the moment the pipeline passes
+  that point, exactly like a power loss after the stage's artifact landed;
+* **kill-worker-K** — an ``exit`` fault at a ``worker:<index>`` point
+  kills the process-pool worker executing item ``K``, which the parent
+  observes as :class:`concurrent.futures.process.BrokenProcessPool`
+  (a *transient* failure, eligible for retry);
+* **raise** faults throw :class:`InjectedFault`, modelling a
+  *deterministic* bug that must fail fast rather than be retried;
+* **corrupt-artifact** — :func:`corrupt_artifact` flips a seeded
+  selection of bytes in a checkpoint file so loaders must detect it.
+
+Faults are communicated through the ``REPRO_FAULTS`` environment
+variable (a JSON document), so they cross every process boundary the
+runtime has: fork/spawn pool workers and CLI subprocesses all see the
+same plan.  Hit accounting uses ``O_CREAT | O_EXCL`` marker files in a
+shared state directory, making "fire exactly N times" race-free across
+processes — the property that lets a one-shot worker kill be recovered
+by a retry instead of firing again.
+
+Everything is deterministic: which points fire, how many times, which
+bytes are corrupted (seeded) — no wall clock, no ambient randomness.
+
+With ``REPRO_FAULTS`` unset, :func:`fault_point` is a single dict lookup
+and a ``None`` test; production code pays essentially nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import re
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Sequence
+
+__all__ = [
+    "ENV_VAR",
+    "FAULT_EXIT_CODE",
+    "Fault",
+    "InjectedFault",
+    "corrupt_artifact",
+    "fault_point",
+    "faults_enabled",
+    "faults_env",
+    "injected_faults",
+]
+
+#: Environment variable carrying the JSON fault plan.
+ENV_VAR = "REPRO_FAULTS"
+
+#: Exit status used by ``exit`` faults, distinctive enough that tests can
+#: tell an injected crash from any organic failure.
+FAULT_EXIT_CODE = 17
+
+_PLAN_VERSION = 1
+
+
+class InjectedFault(RuntimeError):
+    """The deterministic failure raised by ``raise``-action faults."""
+
+    def __init__(self, point: str) -> None:
+        self.point = point
+        super().__init__(f"injected fault at {point!r}")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One staged failure.
+
+    ``point`` is ``"<kind>:<name>"`` and must match a
+    :func:`fault_point` call site exactly, or use ``"<kind>:*"`` to match
+    every point of that kind.  ``action`` is ``"exit"`` (terminate the
+    process with :data:`FAULT_EXIT_CODE`) or ``"raise"`` (throw
+    :class:`InjectedFault`).  ``times`` bounds how often the fault fires
+    across *all* processes sharing the plan's state directory; ``-1``
+    means every hit.
+    """
+
+    point: str
+    action: str = "exit"
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if self.action not in ("exit", "raise"):
+            raise ValueError(f"unknown fault action {self.action!r}")
+        if ":" not in self.point:
+            raise ValueError(
+                f"fault point must be '<kind>:<name>', got {self.point!r}"
+            )
+
+
+def _encode_plan(faults: Sequence[Fault], state_dir: str | Path) -> str:
+    return json.dumps(
+        {
+            "version": _PLAN_VERSION,
+            "state_dir": str(state_dir),
+            "faults": [
+                {"point": f.point, "action": f.action, "times": f.times}
+                for f in faults
+            ],
+        },
+        sort_keys=True,
+    )
+
+
+def faults_env(
+    faults: Sequence[Fault], state_dir: str | Path
+) -> dict[str, str]:
+    """Environment overlay activating ``faults`` in a subprocess.
+
+    ``state_dir`` must exist and be shared by every process that should
+    honor the plan's hit limits.
+    """
+    Path(state_dir).mkdir(parents=True, exist_ok=True)
+    return {ENV_VAR: _encode_plan(faults, state_dir)}
+
+
+@contextmanager
+def injected_faults(
+    faults: Sequence[Fault], state_dir: str | Path
+) -> Iterator[None]:
+    """Activate ``faults`` for this process (and its children) in a block."""
+    previous = os.environ.get(ENV_VAR)
+    os.environ.update(faults_env(faults, state_dir))
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = previous
+
+
+def faults_enabled() -> bool:
+    """True when a fault plan is active in this process's environment."""
+    return bool(os.environ.get(ENV_VAR))
+
+
+# -- plan parsing (cached on the raw env value) ------------------------
+_parsed_cache: tuple[str, dict] | None = None
+
+
+def _active_plan() -> dict | None:
+    global _parsed_cache
+    raw = os.environ.get(ENV_VAR)
+    if not raw:
+        return None
+    if _parsed_cache is not None and _parsed_cache[0] == raw:
+        return _parsed_cache[1]
+    plan = json.loads(raw)
+    if plan.get("version") != _PLAN_VERSION:
+        raise ValueError(f"unsupported fault plan version: {plan.get('version')!r}")
+    _parsed_cache = (raw, plan)
+    return plan
+
+
+def _claim_hit(state_dir: str, point: str, times: int) -> bool:
+    """Atomically claim one firing of ``point``; False once exhausted.
+
+    One marker file per allowed firing, created with ``O_CREAT|O_EXCL``:
+    whichever process creates marker ``i`` first owns firing ``i``, so the
+    total count is exact however many workers race here.
+    """
+    if times == 0:
+        return False
+    if times < 0:
+        return True
+    slug = re.sub(r"[^A-Za-z0-9_.-]", "_", point)
+    for i in range(times):
+        try:
+            fd = os.open(
+                os.path.join(state_dir, f"{slug}.hit{i}"),
+                os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+            )
+        except FileExistsError:
+            continue
+        os.close(fd)
+        return True
+    return False
+
+
+def fault_point(kind: str, name: str = "") -> None:
+    """A named injection point; a no-op unless a matching fault is staged.
+
+    Production code plants these at the seams robustness tests need to
+    break: worker task entry (``worker:<index>``), per-partition mining
+    (``mine:<class>``), and stage completion in the experiment runtime
+    (``stage:<stage>``).
+    """
+    plan = _active_plan()
+    if plan is None:
+        return
+    point = f"{kind}:{name}"
+    wildcard = f"{kind}:*"
+    for fault in plan["faults"]:
+        if fault["point"] not in (point, wildcard):
+            continue
+        if not _claim_hit(plan["state_dir"], point, int(fault["times"])):
+            continue
+        if fault["action"] == "exit":
+            os._exit(FAULT_EXIT_CODE)
+        raise InjectedFault(point)
+
+
+def corrupt_artifact(
+    path: str | Path, seed: int = 0, n_bytes: int = 8
+) -> list[int]:
+    """Deterministically flip ``n_bytes`` bytes of a file in place.
+
+    Returns the corrupted offsets (sorted) so tests can assert exactly
+    what changed.  The same ``(file size, seed)`` always corrupts the
+    same offsets.
+    """
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        raise ValueError(f"cannot corrupt empty file {path}")
+    rng = random.Random(seed)
+    offsets = sorted(
+        rng.sample(range(len(data)), k=min(n_bytes, len(data)))
+    )
+    for offset in offsets:
+        data[offset] ^= 0xFF
+    path.write_bytes(bytes(data))
+    return offsets

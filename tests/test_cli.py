@@ -96,6 +96,7 @@ class TestFigureCommand:
 
 
 class TestTableCommand:
+    @pytest.mark.slow
     def test_scalability_table_small(self):
         output = run_cli("table", "3", "--scale", "0.08", "--budget", "5000")
         assert "min_sup" in output

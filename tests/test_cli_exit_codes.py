@@ -1,0 +1,102 @@
+"""Distinct exit codes for distinct failure modes (scriptability contract).
+
+Automation wrapping ``repro`` needs to tell "the input isn't there" from
+"the input is malformed" from "a checkpoint is corrupt" without parsing
+stderr.  These tests pin each documented code for both ``repro report``
+and the ``repro experiment --resume`` error paths.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import (
+    EXIT_CORRUPT_CHECKPOINT,
+    EXIT_MISSING_INPUT,
+    EXIT_SCHEMA_INVALID,
+    main,
+)
+from repro.datasets.transactions import TransactionDataset
+from repro.datasets.uci import load_uci
+from repro.runtime import ExperimentSpec, run_experiment
+from repro.testing.faults import corrupt_artifact
+
+
+def test_exit_codes_are_distinct_and_documented():
+    codes = {EXIT_MISSING_INPUT, EXIT_SCHEMA_INVALID, EXIT_CORRUPT_CHECKPOINT}
+    assert codes == {3, 4, 5}
+    # 0 = success, 1 = generic failure, 2 = argparse usage error
+    assert not codes & {0, 1, 2}
+
+
+class TestReportExitCodes:
+    def test_missing_trace_file(self, tmp_path, capsys):
+        code = main(["report", str(tmp_path / "nope.jsonl")])
+        assert code == EXIT_MISSING_INPUT
+        assert "no such trace file" in capsys.readouterr().err
+
+    def test_schema_invalid_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(json.dumps({"type": "span"}) + "\n")
+        code = main(["report", str(bad)])
+        assert code == EXIT_SCHEMA_INVALID
+        assert "schema violation" in capsys.readouterr().err
+
+
+@pytest.fixture(scope="module")
+def completed_run(tmp_path_factory):
+    """A small finished experiment run directory to resume against."""
+    out = tmp_path_factory.mktemp("runs") / "done"
+    data = TransactionDataset.from_dataset(load_uci("austral", scale=0.15))
+    spec = ExperimentSpec(
+        dataset="austral", scale=0.15, min_support=0.3, folds=2
+    )
+    run_experiment(data, spec, out)
+    return out, spec
+
+
+def _resume_args(out, spec: ExperimentSpec, **overrides) -> list[str]:
+    args = [
+        "experiment",
+        spec.dataset,
+        "--scale", str(overrides.get("scale", spec.scale)),
+        "--min-support", str(overrides.get("min_support", spec.min_support)),
+        "--folds", str(spec.folds),
+        "--out", str(out),
+        "--resume",
+    ]
+    return args
+
+
+class TestResumeExitCodes:
+    def test_resume_missing_run_directory(self, tmp_path, capsys):
+        spec = ExperimentSpec(dataset="austral", scale=0.15, min_support=0.3,
+                              folds=2)
+        code = main(_resume_args(tmp_path / "never-ran", spec))
+        assert code == EXIT_MISSING_INPUT
+        assert "no run manifest" in capsys.readouterr().err
+
+    def test_resume_spec_mismatch(self, completed_run, capsys):
+        out, spec = completed_run
+        code = main(_resume_args(out, spec, min_support=0.4))
+        assert code == EXIT_SCHEMA_INVALID
+        assert "different" in capsys.readouterr().err
+
+    def test_resume_corrupt_checkpoint(self, completed_run, capsys):
+        out, spec = completed_run
+        victim = sorted((out / "cache" / "fold").iterdir())[0]
+        original = victim.read_bytes()
+        corrupt_artifact(victim, seed=4)
+        try:
+            code = main(_resume_args(out, spec))
+        finally:
+            victim.write_bytes(original)  # leave the fixture intact
+        assert code == EXIT_CORRUPT_CHECKPOINT
+        assert "corrupt checkpoint" in capsys.readouterr().err
+
+    def test_successful_resume_exits_zero(self, completed_run, capsys):
+        out, spec = completed_run
+        assert main(_resume_args(out, spec)) == 0
+        assert "austral" in capsys.readouterr().out

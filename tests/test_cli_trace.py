@@ -105,11 +105,16 @@ class TestReportCommand:
         assert "dataset : austral" in out
 
     def test_report_rejects_invalid_trace(self, tmp_path, capsys):
+        from repro.cli import EXIT_SCHEMA_INVALID
+
         bad = tmp_path / "bad.jsonl"
         bad.write_text(json.dumps({"type": "span"}) + "\n")
-        assert main(["report", str(bad)]) == 1
+        assert main(["report", str(bad)]) == EXIT_SCHEMA_INVALID
         assert "schema violation" in capsys.readouterr().err
 
-    def test_report_missing_file_errors(self, tmp_path):
-        with pytest.raises(SystemExit, match="no such trace file"):
-            main(["report", str(tmp_path / "nope.jsonl")])
+    def test_report_missing_file_errors(self, tmp_path, capsys):
+        from repro.cli import EXIT_MISSING_INPUT
+
+        code = main(["report", str(tmp_path / "nope.jsonl")])
+        assert code == EXIT_MISSING_INPUT
+        assert "no such trace file" in capsys.readouterr().err

@@ -124,6 +124,7 @@ class TestGeneration:
 
 
 class TestRegistry:
+    @pytest.mark.slow
     def test_all_names_load(self):
         for name in available_datasets():
             dataset = load_uci(name, scale=0.1)

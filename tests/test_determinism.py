@@ -1,0 +1,118 @@
+"""Determinism: parallelism and repetition must not change any result.
+
+The reproduction's headline guarantee is that every reported number is a
+pure function of (dataset, config, seed).  These tests pin it at three
+levels: the miner (``n_jobs=1`` vs ``n_jobs=4``), the pipeline (same-seed
+CV repeats), and the runtime's persisted artifacts (byte equality).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import process_pool_available
+from repro.eval.cross_validation import cross_validate_pipeline
+from repro.features.pipeline import FrequentPatternClassifier
+from repro.mining.generation import mine_class_patterns
+from repro.runtime import ExperimentSpec, run_experiment
+
+needs_processes = pytest.mark.skipif(
+    not process_pool_available(), reason="no process pool on this platform"
+)
+
+
+@needs_processes
+class TestMinerParallelismInvariance:
+    def test_serial_and_parallel_mining_agree(self, planted_transactions):
+        serial = mine_class_patterns(
+            planted_transactions, min_support=0.25, n_jobs=1
+        )
+        parallel = mine_class_patterns(
+            planted_transactions, min_support=0.25, n_jobs=4
+        )
+        assert serial.as_dict() == parallel.as_dict()
+        assert [p.items for p in serial.patterns] == [
+            p.items for p in parallel.patterns
+        ]
+        assert serial.min_support == parallel.min_support
+
+
+class TestPipelineDeterminism:
+    def test_same_seed_cv_repeats_identically(self, planted_transactions):
+        def run():
+            report = cross_validate_pipeline(
+                lambda: FrequentPatternClassifier(
+                    min_support=0.3, delta=2, max_length=3
+                ),
+                planted_transactions,
+                n_folds=3,
+                seed=11,
+            )
+            return [score.accuracy for score in report.folds]
+
+        assert run() == run()
+
+    @needs_processes
+    def test_fit_is_independent_of_n_jobs(self, planted_transactions):
+        def fitted(n_jobs):
+            model = FrequentPatternClassifier(
+                min_support=0.3, delta=2, max_length=3, n_jobs=n_jobs
+            )
+            model.fit(planted_transactions)
+            return model
+
+        serial, parallel = fitted(1), fitted(4)
+        assert [p.items for p in serial.selected_patterns] == [
+            p.items for p in parallel.selected_patterns
+        ]
+        np.testing.assert_array_equal(
+            serial.predict(planted_transactions),
+            parallel.predict(planted_transactions),
+        )
+
+
+@pytest.mark.slow
+class TestArtifactDeterminism:
+    SPEC = ExperimentSpec(
+        dataset="planted", min_support=0.3, folds=2, max_length=3
+    )
+
+    def _artifacts(self, out_dir: Path) -> dict[str, bytes]:
+        return {
+            name: (out_dir / name).read_bytes()
+            for name in ("patterns.json", "selection.json", "report.json")
+        }
+
+    def test_same_seed_runs_write_identical_bytes(
+        self, tmp_path, planted_transactions
+    ):
+        a, b = tmp_path / "a", tmp_path / "b"
+        first = run_experiment(planted_transactions, self.SPEC, a)
+        second = run_experiment(planted_transactions, self.SPEC, b)
+        assert self._artifacts(a) == self._artifacts(b)
+        assert first.run_fingerprint == second.run_fingerprint
+        assert [s.accuracy for s in first.cv.folds] == [
+            s.accuracy for s in second.cv.folds
+        ]
+
+    @needs_processes
+    def test_parallel_run_writes_identical_bytes(
+        self, tmp_path, planted_transactions
+    ):
+        a, b = tmp_path / "a", tmp_path / "b"
+        run_experiment(planted_transactions, self.SPEC, a, n_jobs=1)
+        run_experiment(planted_transactions, self.SPEC, b, n_jobs=4)
+        assert self._artifacts(a) == self._artifacts(b)
+
+    def test_different_seed_changes_the_fingerprint(
+        self, tmp_path, planted_transactions
+    ):
+        other = ExperimentSpec(
+            dataset="planted", min_support=0.3, folds=2, max_length=3, seed=1
+        )
+        a = run_experiment(planted_transactions, self.SPEC, tmp_path / "a")
+        b = run_experiment(planted_transactions, other, tmp_path / "b")
+        assert a.run_fingerprint != b.run_fingerprint

@@ -59,6 +59,7 @@ class TestVariants:
 
 
 class TestAccuracyTable:
+    @pytest.mark.slow
     def test_small_run_structure(self, small_austral):
         table = run_accuracy_table(
             ["austral"],
@@ -176,6 +177,7 @@ class TestAblations:
         assert all(0 <= p.accuracy <= 1 for p in result.points)
         assert "min_sup" in result.render()
 
+    @pytest.mark.slow
     def test_delta_sweep_feature_monotonicity(self, small_austral):
         result = sweep_delta(small_austral, deltas=[1, 5], n_folds=2)
         by_delta = {p.setting: p.n_features for p in result.points}

@@ -105,6 +105,7 @@ class TestReportRendering:
 
 
 class TestVariantComparison:
+    @pytest.mark.slow
     def test_pat_fs_vs_item_all_small_battery(self):
         from repro.experiments import compare_variants
 
@@ -135,6 +136,7 @@ class TestVariantComparison:
 
 
 class TestGenerateReport:
+    @pytest.mark.slow
     def test_tiny_report_end_to_end(self):
         from repro.experiments import ReportConfig, generate_report
 

@@ -140,6 +140,7 @@ class TestGraphDataset:
         assert subset.graphs[1] is data.graphs[3]
 
 
+@pytest.mark.slow
 class TestGraphClassifier:
     @pytest.fixture(scope="class")
     def data(self):

@@ -1,0 +1,200 @@
+"""Property-based round-trip tests for the io layer (Hypothesis).
+
+Every serializer the runtime persists state through must be an exact
+inverse of its reader over its documented domain: generated datasets
+survive ARFF and CSV round trips value-for-value, mining results and
+selections survive the JSON formats, and fitted classifiers predict
+identically after ``model_to_json``/``model_from_json``.
+"""
+
+from __future__ import annotations
+
+import io as _io
+import json
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classifiers.decision_tree import DecisionTree
+from repro.classifiers.linear_svm import LinearSVM
+from repro.classifiers.logistic import LogisticRegression
+from repro.classifiers.naive_bayes import BernoulliNaiveBayes
+from repro.datasets.schema import Dataset
+from repro.io.arff import read_arff, write_arff
+from repro.io.csvio import read_csv, write_csv
+from repro.io.models import model_from_json, model_to_json
+from repro.io.serialize import (
+    patterns_from_json,
+    patterns_to_json,
+    selection_from_json,
+    selection_to_json,
+)
+from repro.mining.itemsets import MiningResult, Pattern
+
+# Tokens safe for both ARFF (no commas/braces/quotes/whitespace) and CSV.
+TOKEN = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789_-",
+    min_size=1,
+    max_size=8,
+).filter(lambda s: s != "class")
+
+
+@st.composite
+def datasets(draw) -> Dataset:
+    n_attrs = draw(st.integers(1, 4))
+    attr_names = draw(
+        st.lists(TOKEN, min_size=n_attrs, max_size=n_attrs, unique=True)
+    )
+    domains = [
+        draw(st.lists(TOKEN, min_size=1, max_size=4, unique=True))
+        for _ in range(n_attrs)
+    ]
+    class_names = draw(st.lists(TOKEN, min_size=1, max_size=3, unique=True))
+    n_rows = draw(st.integers(1, 8))
+    rows = [
+        tuple(draw(st.sampled_from(domains[j])) for j in range(n_attrs))
+        for _ in range(n_rows)
+    ]
+    labels = [draw(st.sampled_from(class_names)) for _ in range(n_rows)]
+    return Dataset.from_values(
+        name=draw(TOKEN),
+        attribute_names=attr_names,
+        value_rows=rows,
+        labels=labels,
+    )
+
+
+def _decoded(dataset: Dataset) -> tuple:
+    """The dataset's observable content: names, string values, labels."""
+    value_rows = [
+        tuple(
+            dataset.attributes[j].values[int(v)] for j, v in enumerate(row)
+        )
+        for row in dataset.rows
+    ]
+    labels = [dataset.class_names[int(label)] for label in dataset.labels]
+    return (
+        [a.name for a in dataset.attributes],
+        value_rows,
+        labels,
+    )
+
+
+class TestDatasetRoundTrips:
+    @given(datasets())
+    @settings(max_examples=50, deadline=None)
+    def test_arff_round_trip(self, dataset):
+        buffer = _io.StringIO()
+        write_arff(dataset, buffer)
+        buffer.seek(0)
+        back = read_arff(buffer)
+        assert back.name == dataset.name
+        assert _decoded(back) == _decoded(dataset)
+
+    @given(datasets())
+    @settings(max_examples=50, deadline=None)
+    def test_csv_round_trip(self, dataset):
+        buffer = _io.StringIO(newline="")
+        write_csv(dataset, buffer)
+        buffer.seek(0)
+        back = read_csv(buffer)
+        assert _decoded(back) == _decoded(dataset)
+
+
+@st.composite
+def mining_results(draw) -> MiningResult:
+    itemsets = draw(
+        st.lists(
+            st.frozensets(st.integers(0, 20), min_size=1, max_size=5),
+            min_size=0,
+            max_size=12,
+            unique=True,
+        )
+    )
+    patterns = [
+        Pattern(
+            items=tuple(sorted(itemset)),
+            support=draw(st.integers(1, 100)),
+        )
+        for itemset in itemsets
+    ]
+    return MiningResult(
+        patterns,
+        min_support=draw(st.integers(1, 50)),
+        n_rows=draw(st.integers(1, 500)),
+    )
+
+
+class TestPatternsRoundTrip:
+    @given(mining_results())
+    @settings(max_examples=50, deadline=None)
+    def test_patterns_json_round_trip(self, result):
+        # through real JSON text, not just the dict, to catch type coercion
+        payload = json.loads(json.dumps(patterns_to_json(result)))
+        back = patterns_from_json(payload)
+        assert back.as_dict() == result.as_dict()
+        assert [p.items for p in back.patterns] == [
+            p.items for p in result.patterns
+        ]
+        assert back.min_support == result.min_support
+        assert back.n_rows == result.n_rows
+
+
+class TestSelectionRoundTrip:
+    def test_selection_json_round_trip(self, planted_transactions):
+        from repro.selection.mmrfs import mmrfs
+
+        from repro.mining.generation import mine_class_patterns
+
+        mined = mine_class_patterns(planted_transactions, min_support=0.3)
+        selection = mmrfs(mined.patterns, planted_transactions, delta=2)
+        payload = json.loads(json.dumps(selection_to_json(selection)))
+        back = selection_from_json(payload)
+        assert [f.pattern for f in back.selected] == [
+            f.pattern for f in selection.selected
+        ]
+        assert [
+            (f.relevance, f.gain, f.majority_class, f.order)
+            for f in back.selected
+        ] == [
+            (f.relevance, f.gain, f.majority_class, f.order)
+            for f in selection.selected
+        ]
+        assert back.delta == selection.delta
+        assert np.array_equal(back.coverage_counts, selection.coverage_counts)
+        assert back.considered == selection.considered
+        assert back.fully_covered == selection.fully_covered
+
+
+def _design(rng: np.random.Generator, n_rows: int, n_features: int):
+    X = (rng.random((n_rows, n_features)) < 0.5).astype(float)
+    y = rng.integers(0, 2, size=n_rows).astype(np.int64)
+    if len(set(y.tolist())) < 2:  # both classes must appear to fit
+        y[0], y[1] = 0, 1
+    return X, y
+
+
+MODEL_FACTORIES = [
+    lambda: LinearSVM(c=0.5, max_epochs=20),
+    lambda: LogisticRegression(),
+    lambda: BernoulliNaiveBayes(),
+    lambda: DecisionTree(max_depth=4),
+]
+
+
+class TestModelRoundTrip:
+    @given(
+        seed=st.integers(0, 10_000),
+        factory=st.sampled_from(MODEL_FACTORIES),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_fitted_model_predicts_identically(self, seed, factory):
+        rng = np.random.default_rng(seed)
+        X, y = _design(rng, n_rows=12, n_features=5)
+        model = factory()
+        model.fit(X, y)
+        payload = json.loads(json.dumps(model_to_json(model)))
+        restored = model_from_json(payload)
+        assert type(restored) is type(model)
+        np.testing.assert_array_equal(restored.predict(X), model.predict(X))

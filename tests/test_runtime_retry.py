@@ -1,0 +1,181 @@
+"""Worker-death retry: transient failures recover, deterministic ones don't.
+
+The scenarios stage real process-pool worker deaths with the
+:mod:`repro.testing.faults` harness (``os._exit`` inside the worker →
+``BrokenProcessPool`` in the parent) and count per-item invocations via
+marker files, so "completed items are never recomputed" is asserted
+directly rather than inferred.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.parallel import parallel_map, process_pool_available
+from repro.runtime.retry import (
+    DEFAULT_RETRY,
+    RetryPolicy,
+    WorkerCrashError,
+    is_transient,
+)
+from repro.testing.faults import Fault, fault_point, injected_faults
+
+needs_processes = pytest.mark.skipif(
+    not process_pool_available(), reason="no process pool on this platform"
+)
+
+
+def _record_call(workdir: str, index: int) -> None:
+    """Append one crash-safe invocation marker for item ``index``."""
+    for attempt in range(1000):
+        try:
+            fd = os.open(
+                os.path.join(workdir, f"call.{index}.{attempt}"),
+                os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+            )
+        except FileExistsError:
+            continue
+        os.close(fd)
+        return
+    raise RuntimeError("marker space exhausted")
+
+
+def _calls(workdir: str, index: int) -> int:
+    return len(list(Path(workdir).glob(f"call.{index}.*")))
+
+
+def _slow_faulty(item: tuple) -> int:
+    """Item 1 dies late, after item 0 has already finished."""
+    index, workdir = item
+    _record_call(workdir, index)
+    if index == 1:
+        time.sleep(0.4)
+        fault_point("testfn", "1")
+    return index * 10
+
+
+def _faulty(item: tuple) -> int:
+    index, workdir = item
+    _record_call(workdir, index)
+    fault_point("testfn", str(index))
+    return index * 10
+
+
+def _deterministic_bug(item: tuple) -> int:
+    index, workdir = item
+    _record_call(workdir, index)
+    if index == 1:
+        raise ValueError("a real bug, not a crash")
+    return index * 10
+
+
+class TestRetryPolicy:
+    def test_delay_is_capped_exponential(self):
+        policy = RetryPolicy(
+            max_retries=5, backoff_base=0.1, backoff_factor=2.0, backoff_cap=0.3
+        )
+        assert [policy.delay(k) for k in range(4)] == [0.1, 0.2, 0.3, 0.3]
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="delays"):
+            RetryPolicy(backoff_base=-0.1)
+
+    def test_default_policy_is_bounded(self):
+        assert DEFAULT_RETRY.max_retries >= 1
+        assert DEFAULT_RETRY.delay(100) <= DEFAULT_RETRY.backoff_cap
+
+    def test_is_transient_classification(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        assert is_transient(BrokenProcessPool("pool died"))
+        assert is_transient(ConnectionError())
+        assert not is_transient(ValueError("bug"))
+        assert not is_transient(KeyError("bug"))
+
+
+@needs_processes
+class TestWorkerRetry:
+    RETRY = RetryPolicy(max_retries=2, backoff_base=0.01, backoff_cap=0.05)
+
+    def test_transient_death_recovers_without_recomputing(self, tmp_path):
+        """The acceptance scenario: one worker dies, only its item reruns."""
+        calls = tmp_path / "calls"
+        calls.mkdir()
+        items = [(0, str(calls)), (1, str(calls))]
+        with injected_faults(
+            [Fault("testfn:1", "exit", times=1)], tmp_path / "state"
+        ):
+            results = parallel_map(
+                _slow_faulty, items, n_jobs=2, retry=self.RETRY
+            )
+        assert results == [0, 10]
+        assert _calls(calls, 0) == 1  # completed before the crash: kept
+        assert _calls(calls, 1) == 2  # crashed once, recomputed once
+
+    def test_death_at_worker_entry_recovers(self, tmp_path):
+        """The ``worker:<index>`` point built into the pool wrapper."""
+        calls = tmp_path / "calls"
+        calls.mkdir()
+        items = [(i, str(calls)) for i in range(3)]
+        with injected_faults(
+            [Fault("worker:2", "exit", times=1)], tmp_path / "state"
+        ):
+            results = parallel_map(_faulty, items, n_jobs=2, retry=self.RETRY)
+        assert results == [0, 10, 20]
+
+    def test_deterministic_exception_fails_fast(self, tmp_path):
+        """fn-raised errors are never retried, with or without a policy."""
+        calls = tmp_path / "calls"
+        calls.mkdir()
+        items = [(i, str(calls)) for i in range(2)]
+        with pytest.raises(ValueError, match="a real bug"):
+            parallel_map(_deterministic_bug, items, n_jobs=2, retry=self.RETRY)
+        assert _calls(calls, 1) == 1  # exactly one attempt
+
+    def test_no_policy_propagates_crash_as_worker_crash_error(self, tmp_path):
+        calls = tmp_path / "calls"
+        calls.mkdir()
+        items = [(i, str(calls)) for i in range(2)]
+        with injected_faults(
+            [Fault("testfn:1", "exit", times=1)], tmp_path / "state"
+        ):
+            with pytest.raises(WorkerCrashError) as excinfo:
+                parallel_map(_faulty, items, n_jobs=2, retry=None)
+        assert excinfo.value.attempts == 1
+
+    def test_exhausted_budget_raises_worker_crash_error(self, tmp_path):
+        calls = tmp_path / "calls"
+        calls.mkdir()
+        items = [(i, str(calls)) for i in range(2)]
+        policy = RetryPolicy(max_retries=1, backoff_base=0.0)
+        with injected_faults(
+            [Fault("testfn:1", "exit", times=-1)], tmp_path / "state"
+        ):
+            with pytest.raises(WorkerCrashError) as excinfo:
+                parallel_map(_faulty, items, n_jobs=2, retry=policy)
+        assert excinfo.value.attempts == 2  # initial + one retry
+        assert excinfo.value.n_failed == 1
+
+    def test_retry_rounds_are_announced_on_the_event_channel(self, tmp_path):
+        from repro.obs import core as _obs
+
+        calls = tmp_path / "calls"
+        calls.mkdir()
+        items = [(i, str(calls)) for i in range(2)]
+        with injected_faults(
+            [Fault("testfn:1", "exit", times=1)], tmp_path / "state"
+        ):
+            with _obs.session() as sess:
+                results = parallel_map(
+                    _slow_faulty, items, n_jobs=2, retry=self.RETRY
+                )
+        assert results == [0, 10]
+        retries = [e for e in sess.events if e["kind"] == "worker_retry"]
+        assert len(retries) == 1
+        assert retries[0]["attrs"]["failed_items"] == 1

@@ -1,0 +1,160 @@
+"""The fault-injection harness itself: determinism, accounting, corruption."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.testing.faults import (
+    ENV_VAR,
+    FAULT_EXIT_CODE,
+    Fault,
+    InjectedFault,
+    _claim_hit,
+    corrupt_artifact,
+    fault_point,
+    faults_enabled,
+    faults_env,
+    injected_faults,
+)
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_action(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            Fault("stage:mine", action="explode")
+
+    def test_rejects_point_without_kind(self):
+        with pytest.raises(ValueError, match="<kind>:<name>"):
+            Fault("mine")
+
+    def test_wildcard_points_are_valid(self):
+        assert Fault("worker:*").point == "worker:*"
+
+
+class TestActivation:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert not faults_enabled()
+        fault_point("stage", "mine")  # must be a silent no-op
+
+    def test_faults_env_carries_plan_and_creates_state_dir(self, tmp_path):
+        state = tmp_path / "state"
+        overlay = faults_env([Fault("stage:mine", "raise")], state)
+        assert state.is_dir()
+        plan = json.loads(overlay[ENV_VAR])
+        assert plan["faults"] == [
+            {"point": "stage:mine", "action": "raise", "times": 1}
+        ]
+        assert plan["state_dir"] == str(state)
+
+    def test_injected_faults_restores_environment(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        with injected_faults([Fault("a:b", "raise")], tmp_path):
+            assert faults_enabled()
+        assert not faults_enabled()
+
+    def test_injected_faults_restores_previous_plan(self, tmp_path, monkeypatch):
+        state = tmp_path / "outer"
+        outer = faults_env([Fault("outer:plan", "raise")], state)[ENV_VAR]
+        monkeypatch.setenv(ENV_VAR, outer)
+        with injected_faults([Fault("a:b", "raise")], tmp_path):
+            assert os.environ[ENV_VAR] != outer
+        assert os.environ[ENV_VAR] == outer
+
+
+class TestFiring:
+    def test_raise_action_fires_exactly_times(self, tmp_path):
+        with injected_faults([Fault("mine:1", "raise", times=2)], tmp_path):
+            for _ in range(2):
+                with pytest.raises(InjectedFault, match="mine:1"):
+                    fault_point("mine", "1")
+            fault_point("mine", "1")  # third hit: exhausted, silent
+
+    def test_nonmatching_points_do_not_fire(self, tmp_path):
+        with injected_faults([Fault("mine:1", "raise")], tmp_path):
+            fault_point("mine", "0")
+            fault_point("stage", "1")
+
+    def test_wildcard_matches_every_name_of_kind(self, tmp_path):
+        with injected_faults([Fault("mine:*", "raise", times=-1)], tmp_path):
+            with pytest.raises(InjectedFault):
+                fault_point("mine", "0")
+            with pytest.raises(InjectedFault):
+                fault_point("mine", "anything")
+            fault_point("worker", "0")  # different kind
+
+    def test_exit_action_terminates_with_fault_exit_code(self, tmp_path):
+        env = dict(os.environ)
+        env.update(faults_env([Fault("stage:boom", "exit")], tmp_path))
+        env["PYTHONPATH"] = "src"
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro.testing.faults import fault_point; "
+                "fault_point('stage', 'boom'); print('survived')",
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            cwd="/root/repo",
+        )
+        assert proc.returncode == FAULT_EXIT_CODE
+        assert "survived" not in proc.stdout
+
+
+class TestHitAccounting:
+    def test_claim_hit_is_exact_across_claimants(self, tmp_path):
+        grants = [_claim_hit(str(tmp_path), "worker:3", 2) for _ in range(5)]
+        assert grants == [True, True, False, False, False]
+
+    def test_zero_times_never_fires(self, tmp_path):
+        assert not _claim_hit(str(tmp_path), "worker:3", 0)
+
+    def test_negative_times_always_fires(self, tmp_path):
+        assert all(_claim_hit(str(tmp_path), "worker:3", -1) for _ in range(4))
+
+    def test_distinct_points_account_separately(self, tmp_path):
+        assert _claim_hit(str(tmp_path), "mine:0", 1)
+        assert _claim_hit(str(tmp_path), "mine:1", 1)
+        assert not _claim_hit(str(tmp_path), "mine:0", 1)
+
+
+class TestCorruptArtifact:
+    def test_same_seed_corrupts_same_offsets(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        a.write_bytes(b"x" * 100)
+        b.write_bytes(b"x" * 100)
+        assert corrupt_artifact(a, seed=5) == corrupt_artifact(b, seed=5)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_flips_exactly_the_reported_offsets(self, tmp_path):
+        path = tmp_path / "c.json"
+        original = bytes(range(64))
+        path.write_bytes(original)
+        offsets = corrupt_artifact(path, seed=1, n_bytes=4)
+        mutated = path.read_bytes()
+        assert len(offsets) == 4
+        for i, (before, after) in enumerate(zip(original, mutated)):
+            if i in offsets:
+                assert after == before ^ 0xFF
+            else:
+                assert after == before
+
+    def test_double_corruption_round_trips(self, tmp_path):
+        path = tmp_path / "d.json"
+        path.write_bytes(b"hello artifact")
+        corrupt_artifact(path, seed=9)
+        corrupt_artifact(path, seed=9)
+        assert path.read_bytes() == b"hello artifact"
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty"
+        path.write_bytes(b"")
+        with pytest.raises(ValueError, match="empty"):
+            corrupt_artifact(path)
