@@ -38,12 +38,20 @@ __all__ = [
 
 @dataclass(frozen=True)
 class AblationPoint:
-    """One configuration's outcome."""
+    """One configuration's outcome.
+
+    ``covered`` is the selection's database-coverage verdict on a full-data
+    fit (None when the strategy has no coverage notion, e.g. no selection).
+    Before ``top_k_by_relevance`` reported real ``delta=1`` coverage, this
+    column was vacuously "yes" for top-k; it now reflects whether the kept
+    patterns actually cover every training row at least once.
+    """
 
     setting: str
     accuracy: float
     n_features: float
     seconds: float
+    covered: bool | None = None
 
 
 @dataclass
@@ -53,13 +61,20 @@ class AblationResult:
     points: list[AblationPoint]
 
     def render(self) -> str:
+        with_coverage = any(p.covered is not None for p in self.points)
         header = f"{'setting':>24s}  {'acc(%)':>7s}  {'#feat':>8s}  {'sec':>6s}"
+        if with_coverage:
+            header += f"  {'covered':>7s}"
         lines = [f"Ablation: {self.name} on {self.dataset}", header]
         for point in self.points:
-            lines.append(
+            row = (
                 f"{point.setting:>24s}  {100 * point.accuracy:7.2f}"
                 f"  {point.n_features:8.1f}  {point.seconds:6.2f}"
             )
+            if with_coverage:
+                verdict = {True: "yes", False: "no", None: "-"}[point.covered]
+                row += f"  {verdict:>7s}"
+            lines.append(row)
         return "\n".join(lines)
 
     def best(self) -> AblationPoint:
@@ -127,7 +142,14 @@ def compare_selection_strategies(
             **kw,
         )
         accuracy, n_features, seconds = _evaluate(factory, data, n_folds, seed)
-        points.append(AblationPoint(name, accuracy, n_features, seconds))
+        # Coverage verdict from one full-data fit: honest for top-k now that
+        # it reports delta=1 coverage instead of a vacuous delta=0.
+        full_fit = factory().fit(data)
+        result = full_fit.selection_result_
+        covered = None if result is None else result.fully_covered
+        points.append(
+            AblationPoint(name, accuracy, n_features, seconds, covered=covered)
+        )
     return AblationResult("selection strategy", data.name, points)
 
 

@@ -20,10 +20,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..datasets.transactions import TransactionDataset
-from ..measures.bounds import fisher_upper_bound, ig_upper_bound
-from ..measures.contingency import batch_pattern_stats
-from ..measures.fisher import fisher_score
-from ..measures.information_gain import information_gain
+from ..measures.contingency import batch_contingency_tables
+from ..measures.vectorized import (
+    fisher_score_batch,
+    fisher_upper_bound_batch,
+    ig_upper_bound_batch,
+    information_gain_batch,
+)
 from ..mining.generation import mine_class_patterns
 from ..mining.itemsets import Pattern
 
@@ -166,7 +169,7 @@ def _measure_panel(
     fisher_cap: float,
 ) -> FigureData:
     patterns = _mine_with_singles(data, min_support, max_length)
-    stats = batch_pattern_stats(patterns, data)
+    tables = batch_contingency_tables(patterns, data)
 
     if data.n_classes != 2:
         raise ValueError(
@@ -174,30 +177,33 @@ def _measure_panel(
         )
     prior = float(data.class_counts()[1]) / data.n_rows
 
-    points = []
-    for pattern, stat in zip(patterns, stats):
-        if measure_name == "information_gain":
-            value = information_gain(stat)
-        else:
-            value = min(fisher_cap, fisher_score(stat))
-        points.append(
-            PatternPoint(
-                items=pattern.items,
-                support=stat.support,
-                length=pattern.length,
-                value=value,
-            )
+    # Whole scatter panel in one vectorized pass per measure.
+    if measure_name == "information_gain":
+        values = information_gain_batch(tables.present, tables.absent)
+    else:
+        values = np.minimum(
+            fisher_cap, fisher_score_batch(tables.present, tables.absent)
         )
+    supports = tables.supports
+    points = [
+        PatternPoint(
+            items=pattern.items,
+            support=int(supports[index]),
+            length=pattern.length,
+            value=float(values[index]),
+        )
+        for index, pattern in enumerate(patterns)
+    ]
 
+    # The bound curve over the whole support grid in one call.
     thetas = np.linspace(1.0 / data.n_rows, 1.0 - 1.0 / data.n_rows, bound_samples)
-    bound_values = []
-    for theta in thetas:
-        if measure_name == "information_gain":
-            bound_values.append(ig_upper_bound(float(theta), prior, mode=bound_mode))
-        else:
-            bound_values.append(
-                min(fisher_cap, fisher_upper_bound(float(theta), prior, mode=bound_mode))
-            )
+    if measure_name == "information_gain":
+        bound_array = ig_upper_bound_batch(thetas, prior, mode=bound_mode)
+    else:
+        bound_array = np.minimum(
+            fisher_cap, fisher_upper_bound_batch(thetas, prior, mode=bound_mode)
+        )
+    bound_values = [float(v) for v in bound_array]
     return FigureData(
         dataset=data.name,
         measure=measure_name,

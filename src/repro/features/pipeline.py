@@ -33,8 +33,8 @@ from ..classifiers.base import Classifier
 from ..classifiers.linear_svm import LinearSVM
 from ..datasets.schema import Dataset
 from ..datasets.transactions import TransactionDataset
-from ..measures.contingency import batch_pattern_stats
-from ..measures.information_gain import information_gain
+from ..measures.contingency import batch_contingency_tables
+from ..measures.vectorized import information_gain_batch
 from ..mining.generation import mine_class_patterns
 from ..mining.itemsets import Pattern
 from ..obs import core as _obs
@@ -209,8 +209,8 @@ class FrequentPatternClassifier:
         """
         if self.max_candidates is None or len(patterns) <= self.max_candidates:
             return patterns
-        stats = batch_pattern_stats(patterns, data)
-        gains = np.array([information_gain(s) for s in stats])
+        tables = batch_contingency_tables(patterns, data)
+        gains = information_gain_batch(tables.present, tables.absent)
         keep = np.argsort(-gains, kind="stable")[: self.max_candidates]
         keep_set = set(int(i) for i in keep)
         return [p for i, p in enumerate(patterns) if i in keep_set]
@@ -220,8 +220,8 @@ class FrequentPatternClassifier:
         if not self.select_items:
             return None
         single_items = [Pattern(items=(i,), support=0) for i in range(data.n_items)]
-        stats = batch_pattern_stats(single_items, data)
-        gains = np.array([information_gain(s) for s in stats])
+        tables = batch_contingency_tables(single_items, data)
+        gains = information_gain_batch(tables.present, tables.absent)
         keep = max(1, int(round(self.item_fs_fraction * data.n_items)))
         threshold_value = np.sort(gains)[::-1][keep - 1]
         return gains >= threshold_value

@@ -7,18 +7,38 @@ from .bounds import (
     ig_upper_bound,
     theta_star,
 )
-from .contingency import PatternStats, batch_pattern_stats, pattern_stats
+from .contingency import (
+    ContingencyTables,
+    batch_contingency_tables,
+    batch_pattern_stats,
+    pattern_stats,
+    PatternStats,
+)
 from .entropy import binary_entropy, conditional_entropy_binary, entropy
 from .fisher import fisher_score, fisher_score_binary, fisher_score_from_counts
 from .information_gain import information_gain, information_gain_from_counts
+from .vectorized import (
+    chi2_batch,
+    fisher_score_batch,
+    fisher_upper_bound_batch,
+    ig_upper_bound_batch,
+    information_gain_batch,
+)
 
 __all__ = [
     "entropy",
     "binary_entropy",
     "conditional_entropy_binary",
     "PatternStats",
+    "ContingencyTables",
     "pattern_stats",
     "batch_pattern_stats",
+    "batch_contingency_tables",
+    "information_gain_batch",
+    "fisher_score_batch",
+    "chi2_batch",
+    "ig_upper_bound_batch",
+    "fisher_upper_bound_batch",
     "information_gain",
     "information_gain_from_counts",
     "fisher_score",

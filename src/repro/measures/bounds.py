@@ -53,7 +53,11 @@ def feasible_q_interval(theta: float, p: float) -> tuple[float, float]:
     """
     _check_unit("theta", theta, open_left=True)
     _check_unit("p", p)
-    q_low = max(0.0, (p + theta - 1.0) / theta)
+    # Mathematically (p + theta - 1)/theta <= 1 whenever p <= 1, but the
+    # subtraction cancels catastrophically for p near 1 at tiny theta and
+    # can land 1 ulp above 1.0 — clamp so downstream entropy evaluation
+    # never sees an infeasible q.
+    q_low = min(1.0, max(0.0, (p + theta - 1.0) / theta))
     q_high = min(1.0, p / theta)
     return q_low, q_high
 

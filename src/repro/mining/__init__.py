@@ -5,7 +5,11 @@ from .charm import charm
 from .closed import brute_force_closed, closed_fpgrowth, occurrence_matrix
 from .fpgrowth import fpgrowth
 from .fptree import FPNode, FPTree
-from .generation import mine_class_patterns, recount_supports
+from .generation import (
+    filter_by_information_gain,
+    mine_class_patterns,
+    recount_supports,
+)
 from .gspan import GraphPattern, contains_subgraph, gspan
 from .guards import GuardedMiningReport, MiningTimeLimitExceeded, guarded_mine
 from .itemsets import MiningResult, Pattern, PatternBudgetExceeded, canonical
@@ -29,6 +33,7 @@ __all__ = [
     "brute_force_maximal",
     "mine_class_patterns",
     "recount_supports",
+    "filter_by_information_gain",
     "guarded_mine",
     "GuardedMiningReport",
     "MiningTimeLimitExceeded",

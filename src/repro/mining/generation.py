@@ -53,7 +53,11 @@ from .itemsets import MiningResult, Pattern, PatternBudgetExceeded
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.cache import ArtifactCache
 
-__all__ = ["mine_class_patterns", "recount_supports"]
+__all__ = [
+    "mine_class_patterns",
+    "recount_supports",
+    "filter_by_information_gain",
+]
 
 MinerName = Literal["closed", "all"]
 GuardBehavior = Literal["raise", "items_only"]
@@ -79,6 +83,34 @@ def recount_supports(
         Pattern(items=items, support=item_bits.support(items))
         for items in itemsets
     ]
+
+
+def filter_by_information_gain(
+    patterns: Sequence[Pattern],
+    data: TransactionDataset,
+    ig0: float,
+) -> list[Pattern]:
+    """Keep the patterns whose information gain reaches ``ig0``.
+
+    The direct filtering step the Section 3.2 min_sup strategy is
+    calibrated against: mine at ``theta*(IG0)``, then drop everything the
+    IG threshold rejects.  The whole candidate set is scored in one
+    vectorized pass over batched contingency tables rather than a Python
+    loop per pattern.
+    """
+    if ig0 < 0:
+        raise ValueError("ig0 must be >= 0")
+    patterns = list(patterns)
+    if not patterns:
+        return []
+    from ..measures.contingency import batch_contingency_tables
+    from ..measures.vectorized import information_gain_batch
+
+    tables = batch_contingency_tables(patterns, data)
+    gains = information_gain_batch(tables.present, tables.absent)
+    kept = [p for p, gain in zip(patterns, gains) if gain >= ig0]
+    _obs.add("mining.generation.ig_filtered", len(patterns) - len(kept))
+    return kept
 
 
 def _mine_partition(

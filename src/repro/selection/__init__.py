@@ -9,6 +9,7 @@ from .relevance import (
     FisherScoreRelevance,
     InformationGainRelevance,
     RelevanceMeasure,
+    batch_relevance,
     get_relevance,
 )
 
@@ -28,6 +29,7 @@ __all__ = [
     "FisherScoreRelevance",
     "ChiSquareRelevance",
     "get_relevance",
+    "batch_relevance",
     "suggest_min_support",
     "MinSupSuggestion",
 ]

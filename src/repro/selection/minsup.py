@@ -35,11 +35,16 @@ class MinSupSuggestion:
     ----------
     theta:
         Recommended relative support threshold (the most conservative
-        per-class theta*).
+        theta* over the classes that actually occur in the labels).
     absolute:
-        ``ceil(theta * n_rows)`` clamped to >= 1 — the absolute count form.
+        ``ceil(theta * n_rows)`` clamped to >= 1 — the absolute count
+        form, with a tolerance guard so float fuzz in ``theta * n`` (e.g.
+        ``3.0000000000004``) cannot inflate the count by one.
     per_class_theta:
-        theta* of each one-vs-rest binarization, indexed by class.
+        theta* of each one-vs-rest binarization, indexed by class id
+        (length ``max_label + 1``).  A class id absent from the labels has
+        no examples to preserve, so its slot is 1.0 — the unconstrained
+        threshold — and it never drives the minimum.
     ig0:
         The information-gain threshold the suggestion was derived from.
     """
@@ -80,11 +85,20 @@ def suggest_min_support(
     if ig0 < 0:
         raise ValueError("ig0 must be >= 0")
     counts = np.bincount(labels)
-    priors = counts[counts > 0] / n
-
-    per_class = tuple(theta_star(ig0, float(p), mode=mode) for p in priors)
-    theta = min(per_class)
-    absolute = max(1, int(np.ceil(theta * n)))
+    # per_class stays indexed by class id: a class id absent from the
+    # labels (counts == 0) gets the unconstrained theta* = 1.0 instead of
+    # silently shifting later classes' entries down a slot.  The minimum
+    # is taken over present classes only — theta_star(ig0, 0.0) would
+    # return 0.0 and wrongly collapse the suggestion.
+    per_class = tuple(
+        theta_star(ig0, float(count / n), mode=mode) if count else 1.0
+        for count in counts
+    )
+    theta = min(t for t, count in zip(per_class, counts) if count)
+    # ceil with a relative tolerance: theta * n one float ulp above an
+    # integer (e.g. 3.0000000000004) must stay that integer, not round up.
+    value = theta * n
+    absolute = max(1, int(np.ceil(value - 1e-9 * max(1.0, value))))
     return MinSupSuggestion(
         theta=theta,
         absolute=absolute,

@@ -16,6 +16,12 @@ and the cover is *correct* if alpha's majority class equals i's label.
 The per-iteration gain update is incremental: selecting beta can only
 *raise* each candidate's max-redundancy, so one vectorized
 ``batch_redundancy`` call per iteration maintains all gains exactly.
+Candidate scoring is vectorized too: one
+:func:`~repro.measures.contingency.batch_contingency_tables` pass yields
+the relevance vector, supports and majority classes of the whole set
+(:func:`~repro.selection.relevance.batch_relevance` falls back to the
+scalar loop for plain-callable measures).  The packed under-coverage mask
+is maintained as selections land, not repacked per candidate probe.
 
 Two coverage engines implement the same algorithm: ``"bitset"`` (default)
 keeps every coverage mask packed 64 rows per uint64 word and runs the
@@ -33,11 +39,11 @@ import numpy as np
 from ..core.bitset import pack_bits, popcount, unpack_bits
 from ..datasets.transactions import TransactionDataset
 from ..obs import core as _obs
-from ..measures.contingency import PatternStats, batch_pattern_stats
+from ..measures.contingency import batch_contingency_tables
 from ..mining.closed import occurrence_matrix
 from ..mining.itemsets import Pattern
 from .redundancy import batch_redundancy, batch_redundancy_packed
-from .relevance import RelevanceMeasure, get_relevance
+from .relevance import RelevanceMeasure, batch_relevance, get_relevance
 
 __all__ = ["SelectedFeature", "SelectionResult", "mmrfs", "top_k_by_relevance"]
 
@@ -73,14 +79,6 @@ class SelectionResult:
 
     def __len__(self) -> int:
         return len(self.selected)
-
-
-def _majority_classes(stats: list[PatternStats]) -> np.ndarray:
-    """Majority class of each pattern among the rows it covers."""
-    return np.array(
-        [int(np.argmax(s.present)) if s.support else 0 for s in stats],
-        dtype=np.int32,
-    )
 
 
 def mmrfs(
@@ -156,14 +154,20 @@ def _mmrfs_run(
 ) -> SelectionResult:
     """Algorithm 1 proper (validation and the obs span live in the caller)."""
     session = _obs._ACTIVE
-    stats = batch_pattern_stats(patterns, data)
-    relevances = np.array([score(s) for s in stats], dtype=float)
-    supports = np.array([s.support for s in stats], dtype=np.int64)
-    majority = _majority_classes(stats)
+    # One vectorized pass over the batched contingency tables yields the
+    # relevance vector, supports and majority classes for every candidate.
+    tables = batch_contingency_tables(patterns, data)
+    relevances = batch_relevance(score, tables)
+    supports = tables.supports
+    majority = tables.majority_classes()
 
     n_rows = data.n_rows
     coverage_counts = np.zeros(n_rows, dtype=np.int64)
 
+    # Coverage only changes inside select(), so the under-coverage mask
+    # (rows still short of the delta target) is maintained there rather
+    # than recomputed on every candidate probe — rejected probes in the
+    # same round reuse it unchanged.
     if engine == "bitset":
         item_bits = data.item_bits()
         coverage_words = np.stack(
@@ -175,6 +179,7 @@ def _mmrfs_run(
             correct_words = coverage_words & data.label_bits().words[majority]
         else:
             correct_words = np.zeros_like(coverage_words)
+        under_words = pack_bits(coverage_counts < delta)
 
         def correct_mask(index: int) -> np.ndarray:
             return unpack_bits(correct_words[index], n_rows)
@@ -190,8 +195,11 @@ def _mmrfs_run(
             )
 
         def covers_undercovered(index: int) -> bool:
-            under_words = pack_bits(coverage_counts < delta)
             return int(popcount(correct_words[index] & under_words)) > 0
+
+        def refresh_undercovered() -> None:
+            nonlocal under_words
+            under_words = pack_bits(coverage_counts < delta)
 
     else:
         matrix = occurrence_matrix(data.transactions, n_items=data.n_items)
@@ -205,6 +213,7 @@ def _mmrfs_run(
         )
         # correct_coverage[k, i]: pattern k covers row i, predicts its label.
         correct_coverage = coverage & (majority[:, np.newaxis] == data.labels)
+        undercovered = coverage_counts < delta
 
         def correct_mask(index: int) -> np.ndarray:
             return correct_coverage[index]
@@ -220,8 +229,11 @@ def _mmrfs_run(
             )
 
         def covers_undercovered(index: int) -> bool:
-            useful = correct_coverage[index] & (coverage_counts < delta)
-            return bool(useful.any())
+            return bool((correct_coverage[index] & undercovered).any())
+
+        def refresh_undercovered() -> None:
+            nonlocal undercovered
+            undercovered = coverage_counts < delta
 
     max_redundancy = np.zeros(len(patterns), dtype=float)
     available = np.ones(len(patterns), dtype=bool)
@@ -230,6 +242,7 @@ def _mmrfs_run(
     def select(index: int, gain: float) -> None:
         available[index] = False
         coverage_counts[correct_mask(index)] += 1
+        refresh_undercovered()
         selected.append(
             SelectedFeature(
                 pattern=patterns[index],
@@ -301,13 +314,20 @@ def top_k_by_relevance(
 
     This is "MMRFS without the MMR part" — used to quantify how much the
     redundancy term and the coverage stopping rule contribute.
+
+    Top-k has no coverage stopping rule, so the result's coverage
+    diagnostics use ``delta=1`` semantics: ``fully_covered`` reports
+    whether the k chosen patterns correctly cover every instance at least
+    once.  (It previously reported ``delta=0``, which made
+    ``fully_covered`` vacuously True — ``coverage_counts >= 0`` always
+    holds.)
     """
     if k < 0:
         raise ValueError("k must be >= 0")
     score = get_relevance(relevance)
-    stats = batch_pattern_stats(patterns, data)
-    relevances = np.array([score(s) for s in stats], dtype=float)
-    majority = _majority_classes(stats)
+    tables = batch_contingency_tables(patterns, data)
+    relevances = batch_relevance(score, tables)
+    majority = tables.majority_classes()
     order = np.argsort(-relevances, kind="stable")[:k]
 
     coverage_counts = np.zeros(data.n_rows, dtype=np.int64)
@@ -328,6 +348,6 @@ def top_k_by_relevance(
     return SelectionResult(
         selected=selected,
         coverage_counts=coverage_counts,
-        delta=0,
+        delta=1,
         considered=len(patterns),
     )

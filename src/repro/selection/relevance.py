@@ -4,15 +4,35 @@ A relevance measure maps a pattern's contingency statistics to a real value
 modelling its discriminative power w.r.t. the class label.  The paper names
 information gain and Fisher score as the two instances; both are provided
 plus a registry for lookup by name.
+
+Each built-in measure supports two evaluation forms:
+
+* **scalar** — ``measure(stats)`` on one :class:`PatternStats`, the
+  reference implementation;
+* **batch** — ``measure.batch(tables)`` on a whole
+  :class:`~repro.measures.contingency.ContingencyTables` set, one
+  vectorized numpy pass via :mod:`repro.measures.vectorized`.
+
+:func:`batch_relevance` scores a candidate set through whichever form the
+measure provides, so user-supplied plain callables (scalar only) keep
+working everywhere a built-in does.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Protocol
 
-from ..measures.contingency import PatternStats
+import numpy as np
+
+from ..measures.contingency import ContingencyTables, PatternStats
 from ..measures.fisher import fisher_score
 from ..measures.information_gain import information_gain
+from ..measures.vectorized import (
+    chi2_batch,
+    fisher_score_batch,
+    information_gain_batch,
+)
+from ..obs import core as _obs
 
 __all__ = [
     "RelevanceMeasure",
@@ -20,6 +40,7 @@ __all__ = [
     "FisherScoreRelevance",
     "ChiSquareRelevance",
     "get_relevance",
+    "batch_relevance",
 ]
 
 
@@ -37,6 +58,9 @@ class InformationGainRelevance:
     def __call__(self, stats: PatternStats) -> float:
         return information_gain(stats)
 
+    def batch(self, tables: ContingencyTables) -> np.ndarray:
+        return information_gain_batch(tables.present, tables.absent)
+
 
 class FisherScoreRelevance:
     """S(alpha) = Fisher score of alpha-presence.
@@ -53,6 +77,11 @@ class FisherScoreRelevance:
     def __call__(self, stats: PatternStats) -> float:
         return min(self.cap, fisher_score(stats))
 
+    def batch(self, tables: ContingencyTables) -> np.ndarray:
+        return np.minimum(
+            self.cap, fisher_score_batch(tables.present, tables.absent)
+        )
+
 
 class ChiSquareRelevance:
     """S(alpha) = normalized chi-square of alpha-presence vs the class.
@@ -65,8 +94,6 @@ class ChiSquareRelevance:
     name = "chi2"
 
     def __call__(self, stats: PatternStats) -> float:
-        import numpy as np
-
         observed = np.array([stats.present, stats.absent], dtype=float)
         n = observed.sum()
         if n == 0:
@@ -80,6 +107,9 @@ class ChiSquareRelevance:
             )
         return float(terms.sum() / n)
 
+    def batch(self, tables: ContingencyTables) -> np.ndarray:
+        return chi2_batch(tables.present, tables.absent)
+
 
 _REGISTRY: dict[str, Callable[[], RelevanceMeasure]] = {
     "information_gain": InformationGainRelevance,
@@ -90,7 +120,11 @@ _REGISTRY: dict[str, Callable[[], RelevanceMeasure]] = {
 
 
 def get_relevance(name: str | RelevanceMeasure) -> RelevanceMeasure:
-    """Resolve a relevance measure by name, or pass one through."""
+    """Resolve a relevance measure by name, or pass one through.
+
+    The result may be scalar-only (a plain callable) or also expose a
+    vectorized ``batch`` method; :func:`batch_relevance` handles both.
+    """
     if callable(name) and not isinstance(name, str):
         return name
     try:
@@ -100,3 +134,29 @@ def get_relevance(name: str | RelevanceMeasure) -> RelevanceMeasure:
             f"unknown relevance measure {name!r}; "
             f"available: {', '.join(sorted(set(_REGISTRY)))}"
         ) from None
+
+
+def batch_relevance(
+    measure: RelevanceMeasure, tables: ContingencyTables
+) -> np.ndarray:
+    """Relevance of every pattern in a batch, vectorized when possible.
+
+    Measures exposing ``batch(tables)`` (all built-ins) score the whole set
+    in one numpy pass; plain scalar callables fall back to a per-row loop
+    over :class:`PatternStats` views, so the two forms are interchangeable
+    everywhere selection scores candidates.
+    """
+    batch = getattr(measure, "batch", None)
+    if batch is not None:
+        scores = np.asarray(batch(tables), dtype=float)
+        if scores.shape != (len(tables),):
+            raise ValueError(
+                f"batch relevance must return {len(tables)} scores, "
+                f"got shape {scores.shape}"
+            )
+        return scores
+    if _obs._ACTIVE is not None:
+        _obs._ACTIVE.add("measures.scalar_fallback.patterns", len(tables))
+    return np.array(
+        [measure(tables.row_stats(i)) for i in range(len(tables))], dtype=float
+    )

@@ -215,3 +215,51 @@ class TestMergedBudget:
             tiny_transactions, min_support=0.3, max_patterns=10_000
         )
         assert len(result) <= 10_000
+
+
+class TestFilterByInformationGain:
+    def test_threshold_zero_keeps_all(self, planted_transactions):
+        from repro.mining import filter_by_information_gain
+
+        mined = mine_class_patterns(planted_transactions, min_support=0.2)
+        kept = filter_by_information_gain(
+            mined.patterns, planted_transactions, ig0=0.0
+        )
+        assert kept == mined.patterns
+
+    def test_matches_scalar_filter(self, planted_transactions):
+        from repro.measures import batch_pattern_stats, information_gain
+        from repro.mining import filter_by_information_gain
+
+        mined = mine_class_patterns(planted_transactions, min_support=0.2)
+        ig0 = 0.05
+        kept = filter_by_information_gain(
+            mined.patterns, planted_transactions, ig0=ig0
+        )
+        stats = batch_pattern_stats(mined.patterns, planted_transactions)
+        expected = [
+            p
+            for p, s in zip(mined.patterns, stats)
+            if information_gain(s) >= ig0
+        ]
+        assert kept == expected
+        assert len(kept) < len(mined.patterns)  # the threshold bites
+
+    def test_dropped_count_recorded(self, planted_transactions):
+        from repro.mining import filter_by_information_gain
+        from repro.obs.core import session
+
+        mined = mine_class_patterns(planted_transactions, min_support=0.2)
+        with session() as sess:
+            kept = filter_by_information_gain(
+                mined.patterns, planted_transactions, ig0=0.05
+            )
+        dropped = len(mined.patterns) - len(kept)
+        assert sess.counters["mining.generation.ig_filtered"] == dropped
+
+    def test_empty_and_invalid(self, tiny_transactions):
+        from repro.mining import filter_by_information_gain
+
+        assert filter_by_information_gain([], tiny_transactions, ig0=0.1) == []
+        with pytest.raises(ValueError):
+            filter_by_information_gain([], tiny_transactions, ig0=-0.1)

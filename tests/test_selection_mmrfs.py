@@ -218,6 +218,51 @@ class TestEngineParity:
             mmrfs([], planted_transactions, delta=1, engine="simd")
 
 
+class TestIncrementalUndercoverageMask:
+    """The bitset engine maintains its packed under-coverage mask as
+    selections land instead of repacking per candidate probe; selections
+    must be unchanged from the recompute-every-probe behaviour (which the
+    dense engine's parity already witnesses) and probes that cannot advance
+    coverage must still be rejected."""
+
+    @pytest.mark.parametrize("delta", [1, 2, 5])
+    def test_selections_unchanged_across_engines(
+        self, planted_transactions, delta
+    ):
+        mined = mine_class_patterns(planted_transactions, min_support=0.2)
+        bitset = mmrfs(
+            mined.patterns, planted_transactions, delta=delta, engine="bitset"
+        )
+        dense = mmrfs(
+            mined.patterns, planted_transactions, delta=delta, engine="dense"
+        )
+        assert [f.pattern for f in bitset.selected] == [
+            f.pattern for f in dense.selected
+        ]
+        assert np.array_equal(bitset.coverage_counts, dense.coverage_counts)
+
+    def test_rejections_still_happen(self, planted_transactions):
+        """A high delta forces redundant-coverage probes; the maintained
+        mask must reject them exactly like a fresh repack would."""
+        from repro.obs.core import session
+
+        mined = mine_class_patterns(planted_transactions, min_support=0.2)
+        with session() as sess:
+            result = mmrfs(
+                mined.patterns, planted_transactions, delta=8, engine="bitset"
+            )
+        assert sess.counters["selection.mmrfs.rejected"] > 0
+        assert sess.counters["selection.mmrfs.accepted"] == len(result)
+
+    def test_mask_reflects_final_coverage(self, planted_transactions):
+        """After selection stops, a duplicate run from the recorded
+        coverage agrees with the result's own fully_covered verdict."""
+        mined = mine_class_patterns(planted_transactions, min_support=0.2)
+        result = mmrfs(mined.patterns, planted_transactions, delta=2)
+        undercovered = result.coverage_counts < result.delta
+        assert result.fully_covered == (not undercovered.any())
+
+
 class TestTopK:
     def test_returns_k_highest(self, planted_transactions):
         mined = mine_class_patterns(planted_transactions, min_support=0.2)
@@ -233,6 +278,44 @@ class TestTopK:
     def test_negative_k(self, planted_transactions):
         with pytest.raises(ValueError):
             top_k_by_relevance([], planted_transactions, -1)
+
+
+class TestTopKCoverageSemantics:
+    """top_k reports delta=1 coverage; fully_covered is no longer the
+    vacuous ``coverage_counts >= 0`` of the old delta=0 result."""
+
+    @pytest.fixture()
+    def split_data(self):
+        # Item 0 marks class 0 (3 rows), item 1 marks class 1 (3 rows).
+        transactions = [(0,), (0,), (0,), (1,), (1,), (1,)]
+        labels = [0, 0, 0, 1, 1, 1]
+        return TransactionDataset(transactions, labels, n_items=2)
+
+    def test_delta_is_one(self, split_data):
+        patterns = [Pattern(items=(0,), support=3), Pattern(items=(1,), support=3)]
+        result = top_k_by_relevance(patterns, split_data, k=2)
+        assert result.delta == 1
+
+    def test_partial_coverage_not_fully_covered(self, split_data):
+        """Keeping only the class-0 pattern leaves class-1 rows uncovered —
+        the old delta=0 semantics reported this as fully covered."""
+        patterns = [Pattern(items=(0,), support=3), Pattern(items=(1,), support=3)]
+        result = top_k_by_relevance(patterns, split_data, k=1)
+        assert not result.fully_covered
+        assert (result.coverage_counts == [1, 1, 1, 0, 0, 0]).all() or (
+            result.coverage_counts == [0, 0, 0, 1, 1, 1]
+        ).all()
+
+    def test_complete_coverage_detected(self, split_data):
+        patterns = [Pattern(items=(0,), support=3), Pattern(items=(1,), support=3)]
+        result = top_k_by_relevance(patterns, split_data, k=2)
+        assert result.fully_covered
+
+    def test_k_zero_on_nonempty_data_is_uncovered(self, split_data):
+        result = top_k_by_relevance(
+            [Pattern(items=(0,), support=3)], split_data, k=0
+        )
+        assert not result.fully_covered
 
 
 class TestSuggestMinSupport:
@@ -261,6 +344,57 @@ class TestSuggestMinSupport:
     def test_negative_ig0_rejected(self):
         with pytest.raises(ValueError):
             suggest_min_support(np.array([0, 1]), ig0=-0.1)
+
+
+class TestSuggestMinSupportClassAlignment:
+    """per_class_theta is indexed by class id: an absent class id must not
+    shift later classes' entries down a slot."""
+
+    def test_absent_class_id_keeps_alignment(self):
+        labels = np.array([0] * 10 + [2] * 20)  # class 1 never occurs
+        suggestion = suggest_min_support(labels, ig0=0.05)
+        assert len(suggestion.per_class_theta) == 3
+        assert suggestion.per_class_theta[1] == 1.0  # unconstrained slot
+        # Classes 0 and 2 land at their own ids: same priors as a dataset
+        # where the ids are contiguous.
+        contiguous = suggest_min_support(
+            np.array([0] * 10 + [1] * 20), ig0=0.05
+        )
+        assert suggestion.per_class_theta[0] == contiguous.per_class_theta[0]
+        assert suggestion.per_class_theta[2] == contiguous.per_class_theta[1]
+        assert suggestion.theta == contiguous.theta
+
+    def test_absent_class_never_drives_minimum(self):
+        labels = np.array([0] * 50 + [3] * 50)
+        suggestion = suggest_min_support(labels, ig0=0.1)
+        # theta_star(ig0, p=0) would be ~0 and collapse the suggestion.
+        assert suggestion.theta > 0.0
+        assert suggestion.theta == min(
+            suggestion.per_class_theta[0], suggestion.per_class_theta[3]
+        )
+
+    def test_ceil_guard_against_float_fuzz(self, monkeypatch):
+        """theta * n one ulp above an integer must not round the absolute
+        count up (3.0000000000000004 -> 3, not 4)."""
+        from repro.selection import minsup as minsup_module
+
+        fuzzed_theta = 0.30000000000000004  # 0.3 + 1 ulp
+        monkeypatch.setattr(
+            minsup_module, "theta_star", lambda ig0, p, mode: fuzzed_theta
+        )
+        labels = np.array([0] * 5 + [1] * 5)
+        suggestion = suggest_min_support(labels, ig0=0.1)
+        assert suggestion.theta * 10 > 3.0  # the fuzz is real
+        assert suggestion.absolute == 3
+
+    def test_absolute_at_least_one(self, monkeypatch):
+        from repro.selection import minsup as minsup_module
+
+        monkeypatch.setattr(
+            minsup_module, "theta_star", lambda ig0, p, mode: 1e-12
+        )
+        suggestion = suggest_min_support(np.array([0, 1]), ig0=0.1)
+        assert suggestion.absolute == 1
 
 
 class TestSuggestMinSupportModes:
