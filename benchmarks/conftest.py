@@ -5,11 +5,28 @@ paper-style rendering (run pytest with ``-s`` to see them).  Dataset sizes
 are scaled to laptop runtimes via the ``scale`` constants below; shapes
 (who wins, how counts and times respond to min_sup, curve containment) are
 asserted, absolute numbers are reported.
+
+Benchmarks that produce a ``BENCH_*.json`` report also append their
+headline wall times to the trend store (``benchmarks/history/``, one
+JSONL file per bench id) through the shared :func:`trend` fixture, which
+is what ``repro bench check`` gates CI on.  Set ``REPRO_BENCH_HISTORY``
+to redirect the store (CI points it at a cached directory).
 """
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 import pytest
+
+#: Default trend-store location; ``repro bench check`` reads the same path.
+HISTORY_DIR = Path(
+    os.environ.get(
+        "REPRO_BENCH_HISTORY",
+        Path(__file__).resolve().parent / "history",
+    )
+)
 
 #: Row-count scale for the Table 1/2 accuracy benchmarks.
 ACCURACY_SCALE = 0.5
@@ -28,3 +45,18 @@ def report_lines():
     yield lines
     if lines:
         print("\n" + "\n\n".join(lines))
+
+
+@pytest.fixture(scope="session")
+def trend():
+    """Append benchmark outcomes to the trend store, keyed by git SHA.
+
+    Usage: ``trend("scoring.vectorized_wall_s", wall_s, meta={...})``.
+    Every recorded bench becomes gateable via ``benchmarks/gating.json``.
+    """
+    from repro.obs.bench import append_record
+
+    def record(bench_id: str, value: float, unit: str = "s", meta=None):
+        return append_record(HISTORY_DIR, bench_id, value, unit=unit, meta=meta)
+
+    return record

@@ -85,7 +85,7 @@ def _best_of(fn, repeats: int = 3) -> float:
     return best
 
 
-def test_vectorized_scoring_speedup(report_lines):
+def test_vectorized_scoring_speedup(report_lines, trend):
     data, patterns = _candidate_set(N_PATTERNS)
     data.item_bits()  # warm the shared packed cache outside the timed region
     chi2_scalar = ChiSquareRelevance()
@@ -132,6 +132,12 @@ def test_vectorized_scoring_speedup(report_lines):
         "speedup_floor": SPEEDUP_FLOOR,
     }
     _REPORT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    trend(
+        "scoring.vectorized_wall_s",
+        vectorized_time,
+        meta={"n_patterns": N_PATTERNS, "speedup": round(speedup, 2)},
+    )
 
     report_lines.append(
         "scoring throughput: scalar PatternStats loop vs vectorized kernels\n"

@@ -17,6 +17,13 @@ Commands
     Regenerate one of the paper's figures (1-3) as text series.
 ``report``
     Validate and summarize a JSONL trace written by ``--trace``.
+``trace diff`` / ``trace top``
+    Compare two traces phase-by-phase (wall/CPU/RSS deltas against a
+    noise threshold), or rank one trace's self-time hotspots.  Both
+    support ``--json`` for machine-readable output.
+``bench check``
+    Evaluate the benchmark trend store (``benchmarks/history/``) against
+    the gating config; exits non-zero on a regression so CI can block.
 ``experiment``
     Run the checkpointed end-to-end experiment (mine → select →
     cross-validate) into a run directory; ``--resume`` restores completed
@@ -264,6 +271,81 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_validated_trace(path_arg: str):
+    """Load a trace for analysis commands; (TraceData, 0) or (None, code)."""
+    from .obs import load_trace, validate_file
+
+    path = Path(path_arg)
+    if not path.exists():
+        print(f"no such trace file: {path}", file=sys.stderr)
+        return None, EXIT_MISSING_INPUT
+    errors = validate_file(path)
+    if errors:
+        print(f"{path}: {len(errors)} schema violation(s)", file=sys.stderr)
+        for error in errors:
+            print(f"  {error}", file=sys.stderr)
+        return None, EXIT_SCHEMA_INVALID
+    return load_trace(path), 0
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.analysis import diff_traces, render_diff
+
+    base, status = _load_validated_trace(args.trace_a)
+    if base is None:
+        return status
+    other, status = _load_validated_trace(args.trace_b)
+    if other is None:
+        return status
+    diff = diff_traces(
+        base,
+        other,
+        rel_tolerance=args.rel_tolerance,
+        abs_floor_s=args.abs_floor,
+    )
+    if args.json:
+        print(json.dumps(diff, indent=2, sort_keys=True))
+    else:
+        print(render_diff(diff))
+    return 1 if diff["summary"]["regressed"] else 0
+
+
+def _cmd_trace_top(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.analysis import render_top, top_paths
+
+    trace, status = _load_validated_trace(args.trace_file)
+    if trace is None:
+        return status
+    ranked = top_paths(trace, limit=args.limit)
+    if args.json:
+        print(json.dumps(ranked, indent=2, sort_keys=True))
+    else:
+        print(render_top(ranked))
+    return 0
+
+
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.bench import check_regressions, load_gating_config, render_verdicts
+
+    config_path = Path(args.config)
+    if not config_path.exists():
+        print(f"no such gating config: {config_path}", file=sys.stderr)
+        return EXIT_MISSING_INPUT
+    config = load_gating_config(config_path)
+    verdicts = check_regressions(Path(args.history), config)
+    if args.json:
+        print(json.dumps(verdicts, indent=2, sort_keys=True))
+    else:
+        print(render_verdicts(verdicts))
+    return 1 if any(v["verdict"] == "regressed" for v in verdicts) else 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from .runtime.cache import CorruptArtifactError
     from .runtime.experiment import (
@@ -416,6 +498,69 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("trace_file", help="trace written by --trace")
     report.set_defaults(handler=_cmd_report)
+
+    from .obs.analysis import DEFAULT_ABS_FLOOR_S, DEFAULT_REL_TOLERANCE
+    from .obs.bench import DEFAULT_CONFIG_PATH, DEFAULT_HISTORY_DIR
+
+    trace_cmd = commands.add_parser(
+        "trace", help="analyze JSONL traces (diff two runs, rank hotspots)"
+    )
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command", required=True)
+
+    diff = trace_sub.add_parser(
+        "diff", help="per-phase wall/CPU/RSS deltas between two traces"
+    )
+    diff.add_argument("trace_a", help="baseline trace")
+    diff.add_argument("trace_b", help="candidate trace")
+    diff.add_argument(
+        "--rel-tolerance", type=float, default=DEFAULT_REL_TOLERANCE,
+        dest="rel_tolerance",
+        help="relative noise threshold on a phase's self wall time "
+             f"(default {DEFAULT_REL_TOLERANCE})",
+    )
+    diff.add_argument(
+        "--abs-floor", type=float, default=DEFAULT_ABS_FLOOR_S,
+        dest="abs_floor",
+        help="absolute noise floor in seconds "
+             f"(default {DEFAULT_ABS_FLOOR_S})",
+    )
+    diff.add_argument(
+        "--json", action="store_true", help="emit the diff as JSON"
+    )
+    diff.set_defaults(handler=_cmd_trace_diff)
+
+    top = trace_sub.add_parser(
+        "top", help="rank span paths by self time (exclusive wall)"
+    )
+    top.add_argument("trace_file", help="trace written by --trace")
+    top.add_argument(
+        "-n", "--limit", type=int, default=15, help="paths to show"
+    )
+    top.add_argument(
+        "--json", action="store_true", help="emit the ranking as JSON"
+    )
+    top.set_defaults(handler=_cmd_trace_top)
+
+    bench = commands.add_parser(
+        "bench", help="benchmark trend store utilities"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    check = bench_sub.add_parser(
+        "check", help="verdicts vs the rolling baseline; exit 1 on regression"
+    )
+    check.add_argument(
+        "--history", default=str(DEFAULT_HISTORY_DIR),
+        help=f"trend store directory (default {DEFAULT_HISTORY_DIR})",
+    )
+    check.add_argument(
+        "--config", default=str(DEFAULT_CONFIG_PATH),
+        help=f"gating config JSON (default {DEFAULT_CONFIG_PATH})",
+    )
+    check.add_argument(
+        "--json", action="store_true", help="emit verdicts as JSON"
+    )
+    check.set_defaults(handler=_cmd_bench_check)
 
     experiment = commands.add_parser(
         "experiment",

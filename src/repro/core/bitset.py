@@ -95,8 +95,9 @@ def popcount(words: np.ndarray) -> np.ndarray:
     if session is not None:
         # Kernel-invocation count and popcount volume (words scanned); the
         # disabled path above this line costs one global read + None test.
-        session.add("bitset.popcount_calls", 1)
-        session.add("bitset.popcount_words", int(words.size))
+        session.add_many(
+            (("bitset.popcount_calls", 1), ("bitset.popcount_words", int(words.size)))
+        )
     if words.shape[-1] == 0:
         return np.zeros(words.shape[:-1], dtype=np.int64)
     if _BITWISE_COUNT is not None:

@@ -12,6 +12,7 @@ inner pick-the-best-model loop lives in :mod:`repro.eval.model_selection`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -138,6 +139,7 @@ def cross_validate_pipeline(
                     model=model_name,
                 )
                 return restored
+        fold_start = time.perf_counter() if _obs._ACTIVE is not None else 0.0
         with _obs.span(
             "eval.fold", fold=fold_index, model=model_name
         ) as fold_span:
@@ -158,6 +160,8 @@ def cross_validate_pipeline(
                 selected_patterns=score.n_selected_patterns,
             )
         _obs.record("eval.fold_accuracy", score.accuracy)
+        if _obs._ACTIVE is not None:
+            _obs.observe("eval.fold.wall_s", time.perf_counter() - fold_start)
         if checkpoint is not None:
             checkpoint.store(fold_index, score)
         return score

@@ -222,6 +222,8 @@ def batch_contingency_tables(
     for start in range(0, len(patterns), _TABLE_CHUNK):
         chunk = patterns[start : start + _TABLE_CHUNK]
         covers = np.stack([item_bits.and_reduce(p.items) for p in chunk])
+        if session is not None:
+            session.observe("bitset.kernel_batch_words", covers.size)
         present[start : start + len(chunk)] = popcount(
             covers[:, np.newaxis, :] & label_words[np.newaxis, :, :]
         )

@@ -38,6 +38,7 @@ Fault tolerance (all opt-in, default behavior unchanged):
 
 from __future__ import annotations
 
+import time
 from functools import partial
 from typing import TYPE_CHECKING, Literal, Sequence
 
@@ -130,6 +131,7 @@ def _mine_partition(
     """
     label, transactions, absolute = job
     _faults.fault_point("mine", str(label))
+    mine_start = time.perf_counter() if _obs._ACTIVE is not None else 0.0
     with _obs.span(
         "mining.partition", miner=miner, rows=len(transactions), min_support=absolute
     ) as partition_span:
@@ -161,6 +163,10 @@ def _mine_partition(
             if len(p.items) >= min_length
         ]
         partition_span.set(patterns=len(result.patterns), kept=len(kept))
+    if _obs._ACTIVE is not None:
+        _obs.observe(
+            "mining.partition.wall_s", time.perf_counter() - mine_start
+        )
     return {"patterns": kept, "degraded": None}
 
 

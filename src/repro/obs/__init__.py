@@ -4,12 +4,17 @@ Three facilities, all off by default and all merged into one artifact:
 
 * a hierarchical **span tracer** (wall + CPU time, peak RSS) that is
   thread-safe and survives the process-pool fan-out of parallel mining;
-* a **counter/series registry** threaded through the hot paths — per-miner
-  candidate/pruned counts, bitset kernel volume, closure checks, MMRFS
-  gain evaluations and coverage progress, contingency batch sizes;
+* a **counter/series/histogram registry** threaded through the hot paths
+  — per-miner candidate/pruned counts, bitset kernel volume, closure
+  checks, MMRFS gain evaluations and coverage progress, contingency
+  batch sizes, plus log-bucket latency/size distributions
+  (:mod:`repro.obs.metrics`) with mergeable p50/p90/p99 rollups;
 * **structured emission** — a JSONL trace with a run manifest and a
-  per-phase rollup, validated by :mod:`repro.obs.schema` and summarized
-  by ``repro report``.
+  per-phase rollup, validated by :mod:`repro.obs.schema`, summarized by
+  ``repro report``, and compared/ranked by the trace analytics layer
+  (:mod:`repro.obs.analysis`, ``repro trace diff`` / ``repro trace top``)
+  and the benchmark trend store (:mod:`repro.obs.bench`,
+  ``repro bench check``).
 
 Typical use (the CLI's ``--trace`` flag does exactly this)::
 
@@ -28,11 +33,14 @@ See ``docs/OBSERVABILITY.md`` for the span/counter API, the trace schema
 and the manifest fields.
 """
 
+from .analysis import aggregate_paths, diff_traces, top_paths
+from .bench import append_record, check_regressions, load_history
 from .core import (
     ObsSession,
     active,
     add,
     event,
+    observe,
     record,
     session,
     span,
@@ -41,24 +49,39 @@ from .core import (
 )
 from .emit import phase_rollup, trace_lines, write_trace
 from .manifest import build_manifest, git_sha
+from .metrics import Histogram
 from .report import TraceData, load_trace, render_report
-from .schema import SCHEMA_VERSION, validate_file, validate_lines
+from .schema import (
+    SCHEMA_VERSION,
+    SUPPORTED_VERSIONS,
+    validate_file,
+    validate_lines,
+)
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SUPPORTED_VERSIONS",
+    "Histogram",
     "ObsSession",
     "TraceData",
     "active",
     "add",
+    "aggregate_paths",
+    "append_record",
     "build_manifest",
+    "check_regressions",
+    "diff_traces",
     "event",
     "git_sha",
+    "load_history",
     "load_trace",
+    "observe",
     "phase_rollup",
     "record",
     "render_report",
     "session",
     "span",
+    "top_paths",
     "trace_lines",
     "validate_file",
     "validate_lines",

@@ -1,0 +1,301 @@
+"""Cross-run trace analytics: ``repro trace diff`` and ``repro trace top``.
+
+One trace says what a run did; two traces say what *changed*.  This
+module aligns span trees **by path** — the chain of span names from the
+root down, e.g. ``cli.experiment/runtime.experiment/mining.generate`` —
+and aggregates per path:
+
+* ``wall_s`` / ``cpu_s`` — inclusive totals, as in any trace viewer;
+* ``self_wall_s`` / ``self_cpu_s`` — the phase's own time, i.e. its
+  inclusive time minus its direct children's (clamped at zero, since
+  thread fan-outs can legitimately overlap a parent);
+* ``count`` and the maximum ``rss_kb`` seen.
+
+:func:`diff_traces` compares the aggregates of two traces under a noise
+threshold and attributes changes to the *self time* of each path: a sleep
+injected into the mining loop inflates exactly the mining phase's self
+time, not every ancestor's, so the diff names the culprit phase instead
+of the whole tree above it.  :func:`top_paths` ranks a single trace's
+self-time hotspots.  Both return plain dicts, machine-readable via
+``--json`` on the CLI.
+
+Paths, not bare names, are the join key so the same span name in two
+different contexts (``mining.partition`` under ``cli.mine`` vs under
+``runtime.experiment``) never aliases.  Aggregation handles both schema
+versions — v1 traces simply diff without histogram context.
+
+Only the standard library is used; nothing here imports from the rest of
+``repro``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from .report import TraceData
+
+__all__ = [
+    "DEFAULT_REL_TOLERANCE",
+    "DEFAULT_ABS_FLOOR_S",
+    "aggregate_paths",
+    "diff_traces",
+    "top_paths",
+    "render_diff",
+    "render_top",
+]
+
+#: Relative self-time change below which a phase is considered noise.
+DEFAULT_REL_TOLERANCE = 0.25
+#: Absolute self-time change (seconds) below which a phase is noise
+#: regardless of its relative change — protects microsecond phases from
+#: meaningless 10x "regressions".
+DEFAULT_ABS_FLOOR_S = 0.05
+
+
+def aggregate_paths(trace: TraceData) -> dict[str, dict[str, Any]]:
+    """Aggregate a trace's spans by tree path.
+
+    Returns ``{path: {count, wall_s, cpu_s, self_wall_s, self_cpu_s,
+    max_rss_kb}}`` where ``path`` joins span names from the root with
+    ``/``.  A span whose ``parent`` id is missing from the trace (clipped
+    file) is treated as a root.
+    """
+    spans = trace.spans
+    by_id = {span["id"]: span for span in spans}
+
+    paths: dict[str, str] = {}
+
+    def path_of(span: Mapping[str, Any]) -> str:
+        span_id = span["id"]
+        cached = paths.get(span_id)
+        if cached is not None:
+            return cached
+        parts: list[str] = []
+        seen: set[str] = set()
+        current: Mapping[str, Any] | None = span
+        while current is not None:
+            parts.append(current["name"])
+            current_id = current["id"]
+            if current_id in seen:  # pragma: no cover - defensive (cycles)
+                break
+            seen.add(current_id)
+            parent = current.get("parent")
+            current = by_id.get(parent) if parent is not None else None
+        path = "/".join(reversed(parts))
+        paths[span_id] = path
+        return path
+
+    # Inclusive child time charged to each parent span id.
+    child_wall: dict[str, float] = {}
+    child_cpu: dict[str, float] = {}
+    for span in spans:
+        parent = span.get("parent")
+        if parent is not None and parent in by_id:
+            child_wall[parent] = child_wall.get(parent, 0.0) + float(span["wall_s"])
+            child_cpu[parent] = child_cpu.get(parent, 0.0) + float(span["cpu_s"])
+
+    aggregates: dict[str, dict[str, Any]] = {}
+    for span in spans:
+        path = path_of(span)
+        agg = aggregates.setdefault(
+            path,
+            {
+                "count": 0,
+                "wall_s": 0.0,
+                "cpu_s": 0.0,
+                "self_wall_s": 0.0,
+                "self_cpu_s": 0.0,
+                "max_rss_kb": None,
+            },
+        )
+        wall = float(span["wall_s"])
+        cpu = float(span["cpu_s"])
+        agg["count"] += 1
+        agg["wall_s"] += wall
+        agg["cpu_s"] += cpu
+        agg["self_wall_s"] += max(0.0, wall - child_wall.get(span["id"], 0.0))
+        agg["self_cpu_s"] += max(0.0, cpu - child_cpu.get(span["id"], 0.0))
+        rss = span.get("rss_kb")
+        if rss is not None:
+            best = agg["max_rss_kb"]
+            agg["max_rss_kb"] = rss if best is None else max(best, rss)
+    return aggregates
+
+
+def _exceeds(delta: float, base: float, rel_tol: float, abs_floor: float) -> bool:
+    return abs(delta) > max(abs_floor, rel_tol * abs(base))
+
+
+def diff_traces(
+    base: TraceData,
+    other: TraceData,
+    rel_tolerance: float = DEFAULT_REL_TOLERANCE,
+    abs_floor_s: float = DEFAULT_ABS_FLOOR_S,
+) -> dict[str, Any]:
+    """Structural diff of two traces' span trees, aligned by path.
+
+    Each aligned phase gets a verdict on its *self* wall time:
+
+    * ``"regressed"`` — ``other`` is slower by more than
+      ``max(abs_floor_s, rel_tolerance * base_self_wall)``;
+    * ``"improved"`` — faster by more than the same threshold;
+    * ``"ok"`` — within noise;
+    * ``"added"`` / ``"removed"`` — the path exists in only one trace
+      (flagged as structural changes, never as time regressions).
+
+    Returns a machine-readable dict: ``phases`` (one entry per path,
+    sorted by absolute self-time delta, largest first) and ``summary``
+    with the flagged path lists and a ``within_noise`` verdict for the
+    whole comparison.
+    """
+    if rel_tolerance < 0 or abs_floor_s < 0:
+        raise ValueError("tolerances must be >= 0")
+    agg_a = aggregate_paths(base)
+    agg_b = aggregate_paths(other)
+
+    phases: list[dict[str, Any]] = []
+    for path in sorted(set(agg_a) | set(agg_b)):
+        a = agg_a.get(path)
+        b = agg_b.get(path)
+        if a is None or b is None:
+            phases.append(
+                {
+                    "path": path,
+                    "verdict": "added" if a is None else "removed",
+                    "base": a,
+                    "other": b,
+                    "delta_wall_s": (
+                        b["wall_s"] if a is None else -a["wall_s"]
+                    ),
+                    "delta_self_wall_s": (
+                        b["self_wall_s"] if a is None else -a["self_wall_s"]
+                    ),
+                }
+            )
+            continue
+        delta_self = b["self_wall_s"] - a["self_wall_s"]
+        if not _exceeds(delta_self, a["self_wall_s"], rel_tolerance, abs_floor_s):
+            verdict = "ok"
+        elif delta_self > 0:
+            verdict = "regressed"
+        else:
+            verdict = "improved"
+        entry: dict[str, Any] = {
+            "path": path,
+            "verdict": verdict,
+            "base": a,
+            "other": b,
+            "delta_wall_s": b["wall_s"] - a["wall_s"],
+            "delta_cpu_s": b["cpu_s"] - a["cpu_s"],
+            "delta_self_wall_s": delta_self,
+            "delta_count": b["count"] - a["count"],
+        }
+        if a["max_rss_kb"] is not None and b["max_rss_kb"] is not None:
+            entry["delta_max_rss_kb"] = b["max_rss_kb"] - a["max_rss_kb"]
+        phases.append(entry)
+
+    phases.sort(key=lambda e: -abs(e.get("delta_self_wall_s", 0.0)))
+    regressed = [e["path"] for e in phases if e["verdict"] == "regressed"]
+    improved = [e["path"] for e in phases if e["verdict"] == "improved"]
+    added = [e["path"] for e in phases if e["verdict"] == "added"]
+    removed = [e["path"] for e in phases if e["verdict"] == "removed"]
+    return {
+        "rel_tolerance": rel_tolerance,
+        "abs_floor_s": abs_floor_s,
+        "phases": phases,
+        "summary": {
+            "regressed": regressed,
+            "improved": improved,
+            "added": added,
+            "removed": removed,
+            "within_noise": not (regressed or improved or added or removed),
+        },
+    }
+
+
+def top_paths(trace: TraceData, limit: int = 15) -> list[dict[str, Any]]:
+    """The trace's self-time hotspots, hottest first.
+
+    Returns up to ``limit`` path aggregates sorted by descending
+    ``self_wall_s``, each annotated with its share of the total self time
+    (which, unlike inclusive time, sums to the run's wall clock without
+    double counting).
+    """
+    if limit < 1:
+        raise ValueError("limit must be >= 1")
+    aggregates = aggregate_paths(trace)
+    total_self = sum(agg["self_wall_s"] for agg in aggregates.values())
+    ranked = sorted(
+        (
+            {"path": path, **agg}
+            for path, agg in aggregates.items()
+        ),
+        key=lambda e: -e["self_wall_s"],
+    )[:limit]
+    for entry in ranked:
+        entry["self_share"] = (
+            entry["self_wall_s"] / total_self if total_self > 0 else 0.0
+        )
+    return ranked
+
+
+# ---------------------------------------------------------------------
+# Plain-text renderings (the CLI's non-``--json`` output).
+# ---------------------------------------------------------------------
+def _leaf(path: str) -> str:
+    return path.rsplit("/", 1)[-1]
+
+
+def render_diff(diff: dict[str, Any]) -> str:
+    """One line per aligned phase, flagged phases first."""
+    lines = [
+        f"{'verdict':>10s} {'phase':44s} {'self A (s)':>11s} "
+        f"{'self B (s)':>11s} {'delta (s)':>10s}"
+    ]
+    lines.append("-" * len(lines[0]))
+    for entry in diff["phases"]:
+        a = entry.get("base") or {}
+        b = entry.get("other") or {}
+        lines.append(
+            f"{entry['verdict']:>10s} {_display_path(entry['path']):44s} "
+            f"{a.get('self_wall_s', 0.0):11.4f} "
+            f"{b.get('self_wall_s', 0.0):11.4f} "
+            f"{entry.get('delta_self_wall_s', 0.0):+10.4f}"
+        )
+    summary = diff["summary"]
+    lines.append("")
+    if summary["within_noise"]:
+        lines.append(
+            f"all phases within noise (rel tol "
+            f"{100 * diff['rel_tolerance']:.0f}%, abs floor "
+            f"{diff['abs_floor_s']:g}s)"
+        )
+    else:
+        for verdict in ("regressed", "improved", "added", "removed"):
+            if summary[verdict]:
+                lines.append(
+                    f"{verdict}: "
+                    + ", ".join(_leaf(p) for p in summary[verdict])
+                )
+    return "\n".join(lines)
+
+
+def _display_path(path: str, width: int = 44) -> str:
+    """Elide long paths from the left (the leaf is the informative end)."""
+    if len(path) <= width:
+        return path
+    return "…" + path[-(width - 1):]
+
+
+def render_top(ranked: Iterable[dict[str, Any]]) -> str:
+    """The hotspot table for ``repro trace top``."""
+    lines = [
+        f"{'self (s)':>9s} {'share':>6s} {'count':>7s} {'wall (s)':>9s}  phase"
+    ]
+    lines.append("-" * (len(lines[0]) + 20))
+    for entry in ranked:
+        lines.append(
+            f"{entry['self_wall_s']:9.4f} {100 * entry['self_share']:5.1f}% "
+            f"{entry['count']:7d} {entry['wall_s']:9.4f}  {entry['path']}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,203 @@
+"""The benchmark trend store and regression gate (``repro bench check``).
+
+Single-run benchmarks answer "how fast is it now"; the trend store
+answers "is it getting slower".  Every ``BENCH_*.json`` producer appends
+one record per run to ``benchmarks/history/<bench id>.jsonl`` (via the
+shared ``trend`` fixture in ``benchmarks/conftest.py``)::
+
+    {"bench": "scoring.vectorized_wall_s", "value": 0.41, "unit": "s",
+     "git_sha": "...", "recorded_unix": 1754..., "meta": {...}}
+
+``repro bench check`` then compares each gated bench's **latest** record
+against a rolling baseline — the *median* of the preceding ``window``
+records (median, not mean, so one noisy CI run cannot poison the
+baseline) — and flags a regression when::
+
+    latest > baseline * (1 + tolerance)
+
+Gating policy lives in ``benchmarks/gating.json``: a default ``window``
+and ``tolerance`` plus per-bench overrides.  The gate **bootstraps
+quietly**: a bench with no history (or only its own first record) gets a
+``bootstrap`` verdict and never fails the build — the first CI run on a
+fresh cache seeds the baseline instead of tripping it.
+
+All values are lower-is-better (seconds).  Only the standard library is
+used; nothing here imports from the rest of ``repro``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from statistics import median
+from typing import Any
+
+from .manifest import git_sha
+
+__all__ = [
+    "DEFAULT_WINDOW",
+    "DEFAULT_TOLERANCE",
+    "DEFAULT_HISTORY_DIR",
+    "DEFAULT_CONFIG_PATH",
+    "append_record",
+    "load_history",
+    "load_gating_config",
+    "check_regressions",
+    "render_verdicts",
+]
+
+#: Rolling-baseline window (records) when the gating config does not say.
+DEFAULT_WINDOW = 5
+#: Allowed slowdown over the rolling baseline (fraction) by default.
+DEFAULT_TOLERANCE = 0.25
+#: Where ``repro bench check`` looks by default (repo-relative).
+DEFAULT_HISTORY_DIR = Path("benchmarks/history")
+DEFAULT_CONFIG_PATH = Path("benchmarks/gating.json")
+
+
+def _history_path(history_dir: str | Path, bench_id: str) -> Path:
+    safe = bench_id.replace("/", "_")
+    return Path(history_dir) / f"{safe}.jsonl"
+
+
+def append_record(
+    history_dir: str | Path,
+    bench_id: str,
+    value: float,
+    unit: str = "s",
+    meta: dict[str, Any] | None = None,
+    sha: str | None = None,
+) -> dict[str, Any]:
+    """Append one benchmark outcome to the trend store; returns the record.
+
+    ``sha`` defaults to the working tree's git SHA (None outside a
+    checkout — records are still useful, just not pinned to a commit).
+    """
+    record = {
+        "bench": bench_id,
+        "value": float(value),
+        "unit": unit,
+        "git_sha": sha if sha is not None else git_sha(),
+        "recorded_unix": time.time(),
+        "meta": meta or {},
+    }
+    path = _history_path(history_dir, bench_id)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return record
+
+
+def load_history(history_dir: str | Path, bench_id: str) -> list[dict[str, Any]]:
+    """All stored records of one bench, oldest first (malformed lines skipped)."""
+    path = _history_path(history_dir, bench_id)
+    if not path.exists():
+        return []
+    records: list[dict[str, Any]] = []
+    for raw in path.read_text(encoding="utf-8").splitlines():
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            record = json.loads(raw)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(record, dict) and isinstance(record.get("value"), (int, float)):
+            records.append(record)
+    return records
+
+
+def load_gating_config(path: str | Path) -> dict[str, Any]:
+    """Parse ``benchmarks/gating.json``.
+
+    Shape: ``{"window": int, "tolerance": float, "benches": {bench_id:
+    {"tolerance": float?, "window": int?}, ...}}`` — per-bench keys
+    override the file-level defaults.
+    """
+    config = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(config, dict) or not isinstance(
+        config.get("benches"), dict
+    ):
+        raise ValueError(
+            f"{path}: gating config must be an object with a 'benches' map"
+        )
+    return config
+
+
+def check_regressions(
+    history_dir: str | Path, config: dict[str, Any]
+) -> list[dict[str, Any]]:
+    """Regression verdict for every gated bench.
+
+    Returns one dict per bench: ``{bench, verdict, latest, baseline,
+    limit, tolerance, window, n_records}`` with verdict one of
+
+    * ``"bootstrap"`` — fewer than two records; nothing to compare, pass;
+    * ``"ok"`` — latest within ``baseline * (1 + tolerance)``;
+    * ``"regressed"`` — latest beyond the limit (the gate fails).
+    """
+    default_window = int(config.get("window", DEFAULT_WINDOW))
+    default_tolerance = float(config.get("tolerance", DEFAULT_TOLERANCE))
+    verdicts: list[dict[str, Any]] = []
+    for bench_id, overrides in sorted(config["benches"].items()):
+        overrides = overrides or {}
+        window = int(overrides.get("window", default_window))
+        tolerance = float(overrides.get("tolerance", default_tolerance))
+        records = load_history(history_dir, bench_id)
+        verdict: dict[str, Any] = {
+            "bench": bench_id,
+            "tolerance": tolerance,
+            "window": window,
+            "n_records": len(records),
+        }
+        if len(records) < 2:
+            verdict.update(
+                verdict="bootstrap",
+                latest=records[-1]["value"] if records else None,
+                baseline=None,
+                limit=None,
+            )
+        else:
+            latest = float(records[-1]["value"])
+            baseline = float(
+                median(r["value"] for r in records[-(window + 1):-1])
+            )
+            limit = baseline * (1.0 + tolerance)
+            verdict.update(
+                verdict="regressed" if latest > limit else "ok",
+                latest=latest,
+                baseline=baseline,
+                limit=limit,
+                latest_git_sha=records[-1].get("git_sha"),
+            )
+        verdicts.append(verdict)
+    return verdicts
+
+
+def render_verdicts(verdicts: list[dict[str, Any]]) -> str:
+    """The gate's plain-text table."""
+    header = (
+        f"{'verdict':>10s} {'bench':40s} {'latest':>10s} {'baseline':>10s} "
+        f"{'limit':>10s} {'n':>4s}"
+    )
+    lines = [header, "-" * len(header)]
+
+    def fmt(value: Any) -> str:
+        return "-" if value is None else f"{value:.4f}"
+
+    for v in verdicts:
+        lines.append(
+            f"{v['verdict']:>10s} {v['bench']:40s} {fmt(v['latest']):>10s} "
+            f"{fmt(v['baseline']):>10s} {fmt(v['limit']):>10s} "
+            f"{v['n_records']:4d}"
+        )
+    regressed = [v["bench"] for v in verdicts if v["verdict"] == "regressed"]
+    lines.append("")
+    if regressed:
+        lines.append(
+            f"REGRESSION: {', '.join(regressed)} exceeded the rolling baseline"
+        )
+    else:
+        lines.append("no regressions against the rolling baseline")
+    return "\n".join(lines)

@@ -11,6 +11,11 @@ One :class:`ObsSession` holds everything recorded during an observed run:
   additively across threads and worker processes.
 * **series** — append-only numeric sequences for values that evolve over
   a run (MMRFS coverage progress per selection round).
+* **histograms** — fixed log-bucket distributions
+  (:class:`~repro.obs.metrics.Histogram`) for latency- and size-shaped
+  quantities (per-partition mine time, per-fold CV time, scoring batch
+  latency, cache hit latency, bitset kernel batch sizes); mergeable
+  across threads and worker processes, rolled up to p50/p90/p99/max.
 * **events** — timestamped structured messages (the warning channel).
 
 The subsystem is **off by default**: the module-global ``_ACTIVE`` session
@@ -37,7 +42,9 @@ import threading
 import time
 import warnings
 from contextlib import contextmanager
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
+
+from .metrics import Histogram
 
 try:  # POSIX-only; absent on Windows
     import resource
@@ -57,6 +64,7 @@ __all__ = [
     "span",
     "add",
     "record",
+    "observe",
     "event",
     "warn",
 ]
@@ -174,6 +182,7 @@ class ObsSession:
         self._spans: list[dict] = []
         self._counters: dict[str, int | float] = {}
         self._series: dict[str, list] = {}
+        self._histograms: dict[str, Histogram] = {}
         self._events: list[dict] = []
         self._tls = threading.local()
         self._id_counter = 0
@@ -249,9 +258,32 @@ class ObsSession:
             self._counters[name] = self._counters.get(name, 0) + value
             self._n_ops += 1
 
+    def add_many(self, pairs: Iterable[tuple[str, int | float]]) -> None:
+        """Accumulate several counters under one lock acquisition.
+
+        The cheap form for hooks that bump multiple counters on the same
+        hot path (e.g. kernel call count + volume): one lock round-trip
+        instead of one per counter keeps the enabled-session overhead
+        inside the benchmark budget.
+        """
+        with self._lock:
+            counters = self._counters
+            for name, value in pairs:
+                counters[name] = counters.get(name, 0) + value
+                self._n_ops += 1
+
     def record(self, name: str, value: int | float) -> None:
         with self._lock:
             self._series.setdefault(name, []).append(value)
+            self._n_ops += 1
+
+    def observe(self, name: str, value: int | float) -> None:
+        """Record one observation into the named histogram."""
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram()
+            hist.observe(value)
             self._n_ops += 1
 
     def event(self, kind: str, message: str, **attributes: Any) -> None:
@@ -285,6 +317,11 @@ class ObsSession:
             return {name: list(vals) for name, vals in self._series.items()}
 
     @property
+    def histograms(self) -> dict[str, Histogram]:
+        with self._lock:
+            return {name: hist.copy() for name, hist in self._histograms.items()}
+
+    @property
     def events(self) -> list[dict]:
         with self._lock:
             return list(self._events)
@@ -303,6 +340,9 @@ class ObsSession:
                 "spans": list(self._spans),
                 "counters": dict(self._counters),
                 "series": {k: list(v) for k, v in self._series.items()},
+                "histograms": {
+                    k: h.to_payload() for k, h in self._histograms.items()
+                },
                 "events": list(self._events),
                 "n_ops": self._n_ops,
             }
@@ -327,6 +367,13 @@ class ObsSession:
                 self._counters[name] = self._counters.get(name, 0) + value
             for name, values in payload.get("series", {}).items():
                 self._series.setdefault(name, []).extend(values)
+            for name, hist_payload in payload.get("histograms", {}).items():
+                incoming = Histogram.from_payload(hist_payload)
+                hist = self._histograms.get(name)
+                if hist is None:
+                    self._histograms[name] = incoming
+                else:
+                    hist.merge(incoming)
             self._events.extend(payload.get("events", []))
             self._n_ops += payload.get("n_ops", 0)
 
@@ -402,6 +449,13 @@ def record(name: str, value: int | float) -> None:
     current = _ACTIVE
     if current is not None:
         current.record(name, value)
+
+
+def observe(name: str, value: int | float) -> None:
+    """Record a histogram observation (no-op when disabled)."""
+    current = _ACTIVE
+    if current is not None:
+        current.observe(name, value)
 
 
 def event(kind: str, message: str, **attributes: Any) -> None:

@@ -73,12 +73,20 @@ def trace_lines(
     series = session.series
     for name in sorted(series):
         lines.append({"type": "series", "name": name, "values": series[name]})
+    histograms = session.histograms
+    for name in sorted(histograms):
+        line: dict[str, Any] = {"type": "histogram", "name": name}
+        line.update(histograms[name].to_payload())
+        lines.append(line)
     lines.extend(session.events)
     lines.append(
         {
             "type": "rollup",
             "phases": phase_rollup(spans),
             "counters": counters,
+            "histograms": {
+                name: histograms[name].summary() for name in sorted(histograms)
+            },
             "n_spans": len(spans),
             "n_events": len(session.events),
         }

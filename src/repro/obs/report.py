@@ -1,8 +1,10 @@
 """Human-readable summaries of emitted traces (``repro report``).
 
 Loads a JSONL trace back into structured form and renders the manifest,
-the per-phase rollup, the counters, series endpoints and events as one
-plain-text report — the auditable face of an observed run.
+the per-phase rollup, the counters, series (count, endpoints, range) and
+histogram percentiles, and events as one plain-text report — the
+auditable face of an observed run.  Both schema versions load: a v1
+trace simply has no histogram section.
 """
 
 from __future__ import annotations
@@ -12,12 +14,14 @@ from pathlib import Path
 from typing import Any
 
 from .emit import phase_rollup
+from .metrics import Histogram
 
 __all__ = ["TraceData", "load_trace", "render_report"]
 
 
 class TraceData:
-    """One parsed trace: manifest, spans, counters, series, events, rollup."""
+    """One parsed trace: manifest, spans, counters, series, histograms,
+    events, rollup."""
 
     def __init__(self, lines: list[dict]) -> None:
         self.manifest: dict[str, Any] = {}
@@ -25,6 +29,7 @@ class TraceData:
         self.spans: list[dict] = []
         self.counters: dict[str, float] = {}
         self.series: dict[str, list] = {}
+        self.histograms: dict[str, Histogram] = {}
         self.events: list[dict] = []
         for obj in lines:
             kind = obj.get("type")
@@ -36,10 +41,16 @@ class TraceData:
                 self.counters[obj["name"]] = obj["value"]
             elif kind == "series":
                 self.series[obj["name"]] = obj["values"]
+            elif kind == "histogram":
+                self.histograms[obj["name"]] = Histogram.from_payload(obj)
             elif kind == "event":
                 self.events.append(obj)
             elif kind == "rollup":
                 self.rollup = obj
+
+    @property
+    def schema_version(self) -> int:
+        return int(self.manifest.get("schema_version", 1))
 
     @property
     def phases(self) -> dict[str, dict]:
@@ -72,6 +83,15 @@ def _render_manifest(manifest: dict[str, Any]) -> list[str]:
             f"hash={str(entry.get('content_hash', '?'))[:12]})"
         )
     return out
+
+
+def _fmt(value: Any) -> str:
+    """Compact numeric rendering for series/histogram cells."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
 
 
 def render_report(trace: TraceData, top_counters: int | None = None) -> str:
@@ -109,10 +129,35 @@ def render_report(trace: TraceData, top_counters: int | None = None) -> str:
     if trace.series:
         sections.append("")
         sections.append("series:")
+        width = max(len(n) for n in trace.series)
         for name in sorted(trace.series):
             values = trace.series[name]
-            tail = values[-1] if values else "-"
-            sections.append(f"  {name}  points={len(values)} last={tail}")
+            if not values:
+                sections.append(f"  {name:{width}s}  points=0")
+                continue
+            sections.append(
+                f"  {name:{width}s}  points={len(values)} "
+                f"first={_fmt(values[0])} last={_fmt(values[-1])} "
+                f"min={_fmt(min(values))} max={_fmt(max(values))}"
+            )
+
+    if trace.histograms:
+        sections.append("")
+        header = (
+            f"{'histogram':40s} {'count':>7s} {'p50':>10s} {'p90':>10s} "
+            f"{'p99':>10s} {'max':>10s}"
+        )
+        sections.append(header)
+        sections.append("-" * len(header))
+        for name in sorted(trace.histograms):
+            summary = trace.histograms[name].summary()
+            sections.append(
+                f"{name:40s} {summary['count']:7d} "
+                f"{_fmt(summary.get('p50')):>10s} "
+                f"{_fmt(summary.get('p90')):>10s} "
+                f"{_fmt(summary.get('p99')):>10s} "
+                f"{_fmt(summary.get('max')):>10s}"
+            )
 
     if trace.events:
         sections.append("")

@@ -14,12 +14,23 @@ A trace file is newline-delimited JSON.  Line types:
     One accumulated counter: ``name``, ``value``.
 ``series``
     One recorded sequence: ``name``, ``values`` (list of numbers).
+``histogram``
+    One fixed log-bucket distribution (schema v2+): ``name``, ``subdiv``,
+    ``counts`` (bucket index -> count), ``zeros``, ``count``, ``sum``,
+    ``min``/``max`` (numbers, or null when empty).
 ``event``
     One structured event: ``kind``, ``message``, ``time_unix``, ``attrs``.
 ``rollup``
     Exactly one, last line.  Per-phase aggregation (``phases``: name ->
-    ``{count, wall_s, cpu_s}``) plus the counters again, for one-line
-    consumers like the benchmark JSON reports.
+    ``{count, wall_s, cpu_s}``) plus the counters again — and, from v2,
+    ``histograms`` (name -> percentile summary) — for one-line consumers
+    like the benchmark JSON reports.
+
+Version history: v1 (PR 2) has no histogram lines; v2 adds them plus the
+rollup's ``histograms`` key.  The validator (and every consumer —
+``repro report``, ``repro trace diff``) accepts both versions: a v1 trace
+simply carries no distribution data.  Emission always writes the current
+:data:`SCHEMA_VERSION`.
 
 The validator enforces structure, types and referential integrity (every
 span's ``parent`` must be null or the id of some span in the file); it is
@@ -33,9 +44,17 @@ import json
 from pathlib import Path
 from typing import Any, Iterable
 
-__all__ = ["SCHEMA_VERSION", "validate_lines", "validate_file"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "SUPPORTED_VERSIONS",
+    "validate_lines",
+    "validate_file",
+]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Versions the validator and all trace consumers accept.
+SUPPORTED_VERSIONS = (1, 2)
 
 _NUMERIC = (int, float)
 
@@ -111,7 +130,7 @@ def validate_lines(lines: Iterable[str]) -> list[str]:
         return errors + ["trace is empty"]
 
     types = [obj["type"] for _, obj in parsed]
-    known = {"manifest", "span", "counter", "series", "event", "rollup"}
+    known = {"manifest", "span", "counter", "series", "histogram", "event", "rollup"}
     for (line_no, obj), type_name in zip(parsed, types):
         if type_name not in known:
             errors.append(f"line {line_no}: unknown line type {type_name!r}")
@@ -130,13 +149,16 @@ def validate_lines(lines: Iterable[str]) -> list[str]:
         if type_name == "span" and isinstance(obj.get("id"), str):
             span_ids.add(obj["id"])
 
+    declared_version = SCHEMA_VERSION
     for (line_no, obj), type_name in zip(parsed, types):
         if type_name == "manifest":
-            if obj.get("schema_version") != SCHEMA_VERSION:
+            if obj.get("schema_version") not in SUPPORTED_VERSIONS:
                 errors.append(
-                    f"line {line_no}: manifest schema_version must be "
-                    f"{SCHEMA_VERSION}, got {obj.get('schema_version')!r}"
+                    f"line {line_no}: manifest schema_version must be one of "
+                    f"{SUPPORTED_VERSIONS}, got {obj.get('schema_version')!r}"
                 )
+            else:
+                declared_version = int(obj["schema_version"])
             missing = _MANIFEST_KEYS - obj.keys()
             if missing:
                 errors.append(
@@ -165,6 +187,47 @@ def validate_lines(lines: Iterable[str]) -> list[str]:
                 errors.append(
                     f"line {line_no}: series values must be a list of numbers"
                 )
+        elif type_name == "histogram":
+            if declared_version < 2:
+                errors.append(
+                    f"line {line_no}: histogram lines require schema_version"
+                    " >= 2"
+                )
+            if not isinstance(obj.get("name"), str):
+                errors.append(f"line {line_no}: histogram name must be a string")
+            if not isinstance(obj.get("subdiv"), int) or obj.get("subdiv", 0) < 1:
+                errors.append(
+                    f"line {line_no}: histogram subdiv must be a positive integer"
+                )
+            counts = obj.get("counts")
+            if not isinstance(counts, dict) or any(
+                not isinstance(n, int) or isinstance(n, bool) or n < 0
+                for n in counts.values()
+            ):
+                errors.append(
+                    f"line {line_no}: histogram counts must map bucket "
+                    "indices to non-negative integers"
+                )
+            for key in ("zeros", "count"):
+                if not isinstance(obj.get(key), int) or isinstance(
+                    obj.get(key), bool
+                ):
+                    errors.append(
+                        f"line {line_no}: histogram {key} must be an integer"
+                    )
+            if not isinstance(obj.get("sum"), _NUMERIC) or isinstance(
+                obj.get("sum"), bool
+            ):
+                errors.append(f"line {line_no}: histogram sum must be numeric")
+            for key in ("min", "max"):
+                bound = obj.get(key, "absent")
+                if bound == "absent" or (
+                    bound is not None
+                    and (not isinstance(bound, _NUMERIC) or isinstance(bound, bool))
+                ):
+                    errors.append(
+                        f"line {line_no}: histogram {key} must be numeric or null"
+                    )
         elif type_name == "event":
             for key, kind in (("kind", str), ("message", str)):
                 if not isinstance(obj.get(key), kind):

@@ -27,6 +27,7 @@ import hashlib
 import json
 import os
 import shutil
+import time
 from pathlib import Path
 from typing import Any
 
@@ -98,6 +99,7 @@ class ArtifactCache:
         foreign/mismatched envelope, or a checksum failure.
         """
         path = self.path_for(stage, key)
+        read_start = time.perf_counter() if _obs._ACTIVE is not None else 0.0
         try:
             raw = path.read_text(encoding="utf-8")
         except FileNotFoundError:
@@ -129,6 +131,12 @@ class ArtifactCache:
                 f"computed {digest!r})",
             )
         _obs.add("runtime.cache.hits")
+        if _obs._ACTIVE is not None:
+            # Hit latency covers the read plus envelope + checksum checks —
+            # the full cost a resumed stage pays instead of recomputing.
+            _obs.observe(
+                "runtime.cache.hit_latency_s", time.perf_counter() - read_start
+            )
         return payload
 
     def put(self, stage: str, key: str, payload: Any) -> Path:

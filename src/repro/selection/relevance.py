@@ -20,6 +20,7 @@ working everywhere a built-in does.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Protocol
 
 import numpy as np
@@ -146,6 +147,21 @@ def batch_relevance(
     over :class:`PatternStats` views, so the two forms are interchangeable
     everywhere selection scores candidates.
     """
+    session = _obs._ACTIVE
+    score_start = time.perf_counter() if session is not None else 0.0
+
+    def _observed(scores: np.ndarray) -> np.ndarray:
+        # Per-pattern scoring latency: one histogram observation per batch
+        # (the batch mean), so the instrument cost stays off the per-row
+        # loop while the distribution still separates cheap single-pattern
+        # probes from bulk candidate scans.
+        if session is not None and len(tables):
+            session.observe(
+                "measures.scoring.pattern_latency_s",
+                (time.perf_counter() - score_start) / len(tables),
+            )
+        return scores
+
     batch = getattr(measure, "batch", None)
     if batch is not None:
         scores = np.asarray(batch(tables), dtype=float)
@@ -154,9 +170,12 @@ def batch_relevance(
                 f"batch relevance must return {len(tables)} scores, "
                 f"got shape {scores.shape}"
             )
-        return scores
-    if _obs._ACTIVE is not None:
-        _obs._ACTIVE.add("measures.scalar_fallback.patterns", len(tables))
-    return np.array(
-        [measure(tables.row_stats(i)) for i in range(len(tables))], dtype=float
+        return _observed(scores)
+    if session is not None:
+        session.add("measures.scalar_fallback.patterns", len(tables))
+    return _observed(
+        np.array(
+            [measure(tables.row_stats(i)) for i in range(len(tables))],
+            dtype=float,
+        )
     )

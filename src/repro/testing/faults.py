@@ -14,6 +14,9 @@ mode into one the test suite can stage on demand:
   (a *transient* failure, eligible for retry);
 * **raise** faults throw :class:`InjectedFault`, modelling a
   *deterministic* bug that must fail fast rather than be retried;
+* **sleep** faults stall the hit point for a fixed duration and then
+  continue — a staged performance regression (not a failure) for
+  exercising ``repro trace diff``'s hotspot attribution;
 * **corrupt-artifact** — :func:`corrupt_artifact` flips a seeded
   selection of bytes in a checkpoint file so loaders must detect it.
 
@@ -38,6 +41,7 @@ import json
 import os
 import random
 import re
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
@@ -80,19 +84,24 @@ class Fault:
     ``point`` is ``"<kind>:<name>"`` and must match a
     :func:`fault_point` call site exactly, or use ``"<kind>:*"`` to match
     every point of that kind.  ``action`` is ``"exit"`` (terminate the
-    process with :data:`FAULT_EXIT_CODE`) or ``"raise"`` (throw
-    :class:`InjectedFault`).  ``times`` bounds how often the fault fires
-    across *all* processes sharing the plan's state directory; ``-1``
-    means every hit.
+    process with :data:`FAULT_EXIT_CODE`), ``"raise"`` (throw
+    :class:`InjectedFault`), or ``"sleep"`` (stall for ``seconds`` and
+    continue — a deterministic performance regression for trace-diff
+    tests rather than a failure).  ``times`` bounds how often the fault
+    fires across *all* processes sharing the plan's state directory;
+    ``-1`` means every hit.
     """
 
     point: str
     action: str = "exit"
     times: int = 1
+    seconds: float = 0.0
 
     def __post_init__(self) -> None:
-        if self.action not in ("exit", "raise"):
+        if self.action not in ("exit", "raise", "sleep"):
             raise ValueError(f"unknown fault action {self.action!r}")
+        if self.action == "sleep" and self.seconds <= 0:
+            raise ValueError("sleep faults need seconds > 0")
         if ":" not in self.point:
             raise ValueError(
                 f"fault point must be '<kind>:<name>', got {self.point!r}"
@@ -105,7 +114,14 @@ def _encode_plan(faults: Sequence[Fault], state_dir: str | Path) -> str:
             "version": _PLAN_VERSION,
             "state_dir": str(state_dir),
             "faults": [
-                {"point": f.point, "action": f.action, "times": f.times}
+                {
+                    "point": f.point,
+                    "action": f.action,
+                    "times": f.times,
+                    # Only sleep faults carry a duration; exit/raise plans
+                    # keep their original shape.
+                    **({"seconds": f.seconds} if f.action == "sleep" else {}),
+                }
                 for f in faults
             ],
         },
@@ -209,6 +225,9 @@ def fault_point(kind: str, name: str = "") -> None:
             continue
         if fault["action"] == "exit":
             os._exit(FAULT_EXIT_CODE)
+        if fault["action"] == "sleep":
+            time.sleep(float(fault.get("seconds", 0.0)))
+            continue
         raise InjectedFault(point)
 
 

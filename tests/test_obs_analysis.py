@@ -1,0 +1,238 @@
+"""Tests for trace analytics: aggregation, diff, hotspot ranking, CLI.
+
+The two acceptance-level tests run the real pipeline through the CLI:
+two identically-seeded runs must diff within noise, and a run whose
+miner is artificially slowed (a ``sleep`` fault at the ``mine:*`` point)
+must be flagged at exactly the mining phase — not at every ancestor.
+"""
+
+import io
+import json
+from contextlib import redirect_stderr, redirect_stdout
+
+import pytest
+
+from repro.cli import EXIT_MISSING_INPUT, EXIT_SCHEMA_INVALID, main
+from repro.obs import aggregate_paths, diff_traces, top_paths
+from repro.obs.report import TraceData
+from repro.testing.faults import Fault, injected_faults
+
+
+def run_cli(*argv: str, expect: int = 0) -> str:
+    buffer = io.StringIO()
+    with redirect_stdout(buffer), redirect_stderr(io.StringIO()):
+        exit_code = main(list(argv))
+    assert exit_code == expect, buffer.getvalue()
+    return buffer.getvalue()
+
+
+def span(span_id, parent, name, wall, cpu=0.0):
+    """A schema-complete span line."""
+    return {
+        "type": "span", "id": span_id, "parent": parent, "name": name,
+        "start_unix": 0.0, "wall_s": wall, "cpu_s": cpu, "rss_kb": None,
+        "pid": 1, "thread": 1, "attrs": {},
+    }
+
+
+MANIFEST = {
+    "type": "manifest", "schema_version": 2, "command": "test", "argv": [],
+    "config": {}, "git_sha": None, "python": "3", "platform": "test",
+    "started_unix": 0.0, "datasets": [],
+}
+
+
+def synthetic_lines(mine_wall=1.0):
+    """A two-level trace: root -> {mine, select}."""
+    return [
+        dict(MANIFEST),
+        span("s1", None, "root", mine_wall + 0.5 + 0.1, cpu=0.2),
+        span("s2", "s1", "mine", mine_wall, cpu=0.1),
+        span("s3", "s1", "select", 0.5, cpu=0.05),
+    ]
+
+
+def synthetic_trace(mine_wall=1.0) -> TraceData:
+    return TraceData(synthetic_lines(mine_wall))
+
+
+def write_trace_file(path, lines):
+    """Write lines (plus a closing rollup) as a schema-valid trace file."""
+    closed = lines + [{"type": "rollup", "phases": {}, "counters": {}}]
+    path.write_text("\n".join(json.dumps(line) for line in closed) + "\n")
+    return path
+
+
+class TestAggregatePaths:
+    def test_paths_and_self_time(self):
+        agg = aggregate_paths(synthetic_trace(mine_wall=1.0))
+        assert set(agg) == {"root", "root/mine", "root/select"}
+        assert agg["root/mine"]["wall_s"] == pytest.approx(1.0)
+        # Root self time excludes both children.
+        assert agg["root"]["self_wall_s"] == pytest.approx(0.1)
+        # Leaves keep their inclusive time as self time.
+        assert agg["root/select"]["self_wall_s"] == pytest.approx(0.5)
+
+    def test_same_name_under_different_parents_never_aliases(self):
+        lines = [
+            dict(MANIFEST),
+            span("a", None, "x", 2.0),
+            span("b", None, "y", 2.0),
+            span("c", "a", "work", 1.0),
+            span("d", "b", "work", 1.0),
+        ]
+        agg = aggregate_paths(TraceData(lines))
+        assert "x/work" in agg and "y/work" in agg
+
+    def test_orphan_span_is_treated_as_root(self):
+        lines = [dict(MANIFEST), span("z", "gone", "late", 1.0)]
+        assert set(aggregate_paths(TraceData(lines))) == {"late"}
+
+    def test_overlapping_threaded_children_clamp_self_time_at_zero(self):
+        # Two concurrent children can sum past the parent's wall clock.
+        lines = [
+            dict(MANIFEST),
+            span("p", None, "pool", 1.0),
+            span("w1", "p", "work", 0.9),
+            span("w2", "p", "work", 0.9),
+        ]
+        agg = aggregate_paths(TraceData(lines))
+        assert agg["pool"]["self_wall_s"] == 0.0
+
+
+class TestDiffTraces:
+    def test_identical_traces_within_noise(self):
+        diff = diff_traces(synthetic_trace(), synthetic_trace())
+        assert diff["summary"]["within_noise"]
+        assert all(p["verdict"] == "ok" for p in diff["phases"])
+
+    def test_localized_slowdown_flags_one_phase(self):
+        diff = diff_traces(synthetic_trace(1.0), synthetic_trace(3.0))
+        assert diff["summary"]["regressed"] == ["root/mine"]
+        # The root's *inclusive* time grew but its self time did not.
+        verdicts = {p["path"]: p["verdict"] for p in diff["phases"]}
+        assert verdicts["root"] == "ok"
+        assert verdicts["root/select"] == "ok"
+
+    def test_improvement_is_flagged_symmetrically(self):
+        diff = diff_traces(synthetic_trace(3.0), synthetic_trace(1.0))
+        assert diff["summary"]["improved"] == ["root/mine"]
+
+    def test_noise_floor_suppresses_tiny_absolute_changes(self):
+        # 10x relative change on a sub-millisecond phase stays "ok".
+        diff = diff_traces(
+            synthetic_trace(0.0001), synthetic_trace(0.001), abs_floor_s=0.05
+        )
+        assert diff["summary"]["within_noise"]
+
+    def test_structural_changes_reported_as_added_removed(self):
+        base = synthetic_lines()
+        extra = synthetic_lines() + [span("s4", "s1", "report", 0.2)]
+        diff = diff_traces(TraceData(base), TraceData(extra))
+        assert diff["summary"]["added"] == ["root/report"]
+        reverse = diff_traces(TraceData(extra), TraceData(base))
+        assert reverse["summary"]["removed"] == ["root/report"]
+
+    def test_invalid_tolerances_raise(self):
+        with pytest.raises(ValueError):
+            diff_traces(synthetic_trace(), synthetic_trace(), rel_tolerance=-1)
+
+
+class TestTopPaths:
+    def test_ranked_by_self_time_with_shares(self):
+        ranked = top_paths(synthetic_trace(1.0))
+        assert [e["path"] for e in ranked] == [
+            "root/mine", "root/select", "root"
+        ]
+        assert sum(e["self_share"] for e in ranked) == pytest.approx(1.0)
+
+    def test_limit(self):
+        assert len(top_paths(synthetic_trace(), limit=1)) == 1
+
+
+@pytest.mark.slow
+class TestEndToEndDiff:
+    """The acceptance criteria, against real traced CLI runs."""
+
+    MINE = ("mine", "austral", "--scale", "0.3", "--min-support", "0.3")
+
+    def _traced_mine(self, path):
+        run_cli(*self.MINE, "--trace", str(path))
+        return path
+
+    def test_same_seeded_runs_diff_within_noise(self, tmp_path):
+        a = self._traced_mine(tmp_path / "a.jsonl")
+        b = self._traced_mine(tmp_path / "b.jsonl")
+        # Generous floor: CI wall-clock jitter is not what's under test.
+        out = run_cli(
+            "trace", "diff", str(a), str(b),
+            "--abs-floor", "0.5", "--json",
+        )
+        diff = json.loads(out)
+        assert diff["summary"]["within_noise"], diff["summary"]
+        assert all(p["verdict"] == "ok" for p in diff["phases"])
+
+    def test_slowed_miner_flags_exactly_the_mining_phase(self, tmp_path):
+        base = self._traced_mine(tmp_path / "base.jsonl")
+        slow = tmp_path / "slow.jsonl"
+        with injected_faults(
+            [Fault("mine:*", action="sleep", times=1, seconds=1.0)],
+            tmp_path / "fault-state",
+        ):
+            run_cli(*self.MINE, "--trace", str(slow))
+
+        out = run_cli(
+            "trace", "diff", str(base), str(slow),
+            "--abs-floor", "0.5", "--json",
+            expect=1,  # regressions exit non-zero
+        )
+        diff = json.loads(out)
+        regressed = diff["summary"]["regressed"]
+        # Exactly the mining phase — not the CLI root above it, nothing else.
+        assert [p.rsplit("/", 1)[-1] for p in regressed] == ["mining.generate"]
+        assert not diff["summary"]["improved"]
+        assert not diff["summary"]["added"]
+
+    def test_trace_top_ranks_real_phases(self, tmp_path):
+        a = self._traced_mine(tmp_path / "a.jsonl")
+        out = run_cli("trace", "top", str(a), "--json")
+        ranked = json.loads(out)
+        assert ranked, "expected at least one ranked path"
+        paths = [e["path"] for e in ranked]
+        assert any("mining" in p for p in paths)
+        # Ranking is by descending self time.
+        selfs = [e["self_wall_s"] for e in ranked]
+        assert selfs == sorted(selfs, reverse=True)
+
+
+class TestTraceCli:
+    def test_diff_missing_file(self, tmp_path, capsys):
+        code = main([
+            "trace", "diff", str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")
+        ])
+        assert code == EXIT_MISSING_INPUT
+        assert "no such trace file" in capsys.readouterr().err
+
+    def test_diff_invalid_trace(self, tmp_path, capsys):
+        good = write_trace_file(tmp_path / "good.jsonl", synthetic_lines())
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(json.dumps({"type": "span"}) + "\n")
+        assert main(["trace", "diff", str(good), str(bad)]) == EXIT_SCHEMA_INVALID
+        assert "schema violation" in capsys.readouterr().err
+
+    def test_top_missing_file(self, tmp_path):
+        code = main(["trace", "top", str(tmp_path / "nope.jsonl")])
+        assert code == EXIT_MISSING_INPUT
+
+    def test_diff_and_top_render_plain_text(self, tmp_path):
+        trace = write_trace_file(tmp_path / "t.jsonl", synthetic_lines())
+        out = run_cli("trace", "diff", str(trace), str(trace))
+        assert "all phases within noise" in out
+        out = run_cli("trace", "top", str(trace))
+        assert "root/mine" in out
+
+    def test_diff_exit_one_names_regressed_phase(self, tmp_path):
+        base = write_trace_file(tmp_path / "base.jsonl", synthetic_lines(1.0))
+        slow = write_trace_file(tmp_path / "slow.jsonl", synthetic_lines(3.0))
+        out = run_cli("trace", "diff", str(base), str(slow), expect=1)
+        assert "regressed" in out and "mine" in out

@@ -1,0 +1,169 @@
+"""Tests for the benchmark trend store and ``repro bench check``.
+
+The gate's contract with CI: exit 0 on bootstrap (no/first history) and
+on in-tolerance runs, exit 1 the moment a gated bench's latest record
+exceeds the rolling-median baseline by more than its tolerance.
+"""
+
+import io
+import json
+from contextlib import redirect_stderr, redirect_stdout
+
+import pytest
+
+from repro.cli import EXIT_MISSING_INPUT, main
+from repro.obs.bench import (
+    append_record,
+    check_regressions,
+    load_gating_config,
+    load_history,
+    render_verdicts,
+)
+
+
+def write_config(path, benches=("demo.wall_s",), window=5, tolerance=0.25):
+    path.write_text(
+        json.dumps(
+            {
+                "window": window,
+                "tolerance": tolerance,
+                "benches": {bench: {} for bench in benches},
+            }
+        )
+    )
+    return path
+
+
+def seed_history(history_dir, bench, values):
+    for value in values:
+        append_record(history_dir, bench, value, sha="cafe1234")
+
+
+class TestTrendStore:
+    def test_append_and_load_round_trip(self, tmp_path):
+        record = append_record(
+            tmp_path, "demo.wall_s", 0.42, meta={"scale": 0.3}, sha="abc"
+        )
+        assert record["bench"] == "demo.wall_s"
+        assert record["git_sha"] == "abc"
+        [loaded] = load_history(tmp_path, "demo.wall_s")
+        assert loaded["value"] == 0.42
+        assert loaded["meta"] == {"scale": 0.3}
+
+    def test_bench_id_slashes_are_sanitized(self, tmp_path):
+        append_record(tmp_path, "suite/bench", 1.0, sha=None)
+        assert (tmp_path / "suite_bench.jsonl").exists()
+        assert load_history(tmp_path, "suite/bench")
+
+    def test_malformed_lines_are_skipped(self, tmp_path):
+        seed_history(tmp_path, "demo", [1.0])
+        with (tmp_path / "demo.jsonl").open("a") as handle:
+            handle.write("not json\n")
+            handle.write(json.dumps({"bench": "demo", "value": "NaN?"}) + "\n")
+        seed_history(tmp_path, "demo", [2.0])
+        assert [r["value"] for r in load_history(tmp_path, "demo")] == [1.0, 2.0]
+
+    def test_gating_config_must_have_benches(self, tmp_path):
+        bad = tmp_path / "gating.json"
+        bad.write_text(json.dumps({"window": 5}))
+        with pytest.raises(ValueError, match="benches"):
+            load_gating_config(bad)
+
+
+class TestCheckRegressions:
+    def config(self, **overrides):
+        return {"window": 5, "tolerance": 0.25,
+                "benches": {"demo": overrides or {}}}
+
+    def test_no_history_is_bootstrap(self, tmp_path):
+        [verdict] = check_regressions(tmp_path, self.config())
+        assert verdict["verdict"] == "bootstrap"
+        assert verdict["baseline"] is None
+
+    def test_single_record_is_bootstrap(self, tmp_path):
+        seed_history(tmp_path, "demo", [1.0])
+        [verdict] = check_regressions(tmp_path, self.config())
+        assert verdict["verdict"] == "bootstrap"
+        assert verdict["latest"] == 1.0
+
+    def test_within_tolerance_is_ok(self, tmp_path):
+        seed_history(tmp_path, "demo", [1.0, 1.02, 0.98, 1.2])
+        [verdict] = check_regressions(tmp_path, self.config())
+        assert verdict["verdict"] == "ok"
+        assert verdict["baseline"] == pytest.approx(1.0)
+
+    def test_regression_beyond_tolerance(self, tmp_path):
+        seed_history(tmp_path, "demo", [1.0, 1.02, 0.98, 1.5])
+        [verdict] = check_regressions(tmp_path, self.config())
+        assert verdict["verdict"] == "regressed"
+        assert verdict["latest"] == 1.5
+        assert verdict["limit"] == pytest.approx(1.25)
+
+    def test_median_baseline_shrugs_off_one_noisy_run(self, tmp_path):
+        # One 10x outlier inside the window must not drag the baseline.
+        seed_history(tmp_path, "demo", [1.0, 10.0, 1.0, 1.02, 0.98, 1.1])
+        [verdict] = check_regressions(tmp_path, self.config())
+        assert verdict["verdict"] == "ok"
+        assert verdict["baseline"] == pytest.approx(1.0)
+
+    def test_per_bench_tolerance_override(self, tmp_path):
+        seed_history(tmp_path, "demo", [1.0, 1.1])
+        [strict] = check_regressions(
+            tmp_path, self.config(tolerance=0.05)
+        )
+        assert strict["verdict"] == "regressed"
+        [lax] = check_regressions(tmp_path, self.config(tolerance=0.5))
+        assert lax["verdict"] == "ok"
+
+    def test_window_override_bounds_the_baseline(self, tmp_path):
+        # Old fast records outside window=2 must not make the gate fire.
+        seed_history(tmp_path, "demo", [0.1, 0.1, 0.1, 1.0, 1.02, 1.01])
+        [verdict] = check_regressions(tmp_path, self.config(window=2))
+        assert verdict["verdict"] == "ok"
+
+    def test_render_mentions_regressed_benches(self, tmp_path):
+        seed_history(tmp_path, "demo", [1.0, 2.0])
+        text = render_verdicts(check_regressions(tmp_path, self.config()))
+        assert "REGRESSION" in text and "demo" in text
+
+
+class TestBenchCheckCli:
+    def run(self, *argv):
+        buffer = io.StringIO()
+        with redirect_stdout(buffer), redirect_stderr(io.StringIO()):
+            code = main(list(argv))
+        return code, buffer.getvalue()
+
+    def check_args(self, tmp_path):
+        return (
+            "bench", "check",
+            "--history", str(tmp_path / "history"),
+            "--config", str(tmp_path / "gating.json"),
+        )
+
+    def test_missing_config_exits_3(self, tmp_path, capsys):
+        code = main(["bench", "check", "--config", str(tmp_path / "nope.json")])
+        assert code == EXIT_MISSING_INPUT
+        assert "no such gating config" in capsys.readouterr().err
+
+    def test_empty_history_bootstraps_green(self, tmp_path):
+        write_config(tmp_path / "gating.json")
+        code, out = self.run(*self.check_args(tmp_path), "--json")
+        assert code == 0
+        [verdict] = json.loads(out)
+        assert verdict["verdict"] == "bootstrap"
+
+    def test_synthetic_regression_exits_1(self, tmp_path):
+        write_config(tmp_path / "gating.json")
+        seed_history(tmp_path / "history", "demo.wall_s", [1.0, 1.0, 1.0, 1.5])
+        code, out = self.run(*self.check_args(tmp_path), "--json")
+        assert code == 1
+        [verdict] = json.loads(out)
+        assert verdict["verdict"] == "regressed"
+
+    def test_in_tolerance_history_exits_0(self, tmp_path):
+        write_config(tmp_path / "gating.json")
+        seed_history(tmp_path / "history", "demo.wall_s", [1.0, 1.0, 1.1])
+        code, out = self.run(*self.check_args(tmp_path))
+        assert code == 0
+        assert "no regressions" in out

@@ -1,0 +1,186 @@
+"""Tests for the log-bucket histogram instrument (repro.obs.metrics).
+
+The load-bearing properties are the ones that make per-worker histograms
+trustworthy after the process-pool merge: the bucket layout is a pure
+function of the value, so absorbing K worker sessions must be *exactly*
+equivalent (bucket-for-bucket) to one session observing everything, and
+the percentile rollups must not depend on observation or merge order.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import ObsSession, Histogram
+from repro.obs.metrics import DEFAULT_SUBDIV
+
+
+def exact_quantile(values, q):
+    ordered = sorted(values)
+    target = max(1, math.ceil(q * len(ordered)))
+    return ordered[target - 1]
+
+
+class TestHistogramBasics:
+    def test_empty_summary_and_quantiles(self):
+        hist = Histogram()
+        assert math.isnan(hist.quantile(0.5))
+        assert hist.summary() == {"count": 0, "sum": 0.0, "min": None, "max": None}
+        assert len(hist) == 0
+
+    def test_envelope_quantiles_are_exact(self):
+        hist = Histogram()
+        values = [0.003, 1.7, 42.0, 0.25, 9.9]
+        hist.observe_many(values)
+        assert hist.quantile(0.0) == min(values)
+        assert hist.quantile(1.0) == max(values)
+        assert hist.count == len(values)
+        assert hist.total == pytest.approx(sum(values))
+
+    def test_quantile_relative_error_bound(self):
+        # Half-bucket accuracy: with subdiv=8 any quantile is within
+        # 2**(1/16)-1 (~4.4%) of the true order statistic.
+        rng = random.Random(7)
+        values = [rng.lognormvariate(0.0, 2.0) for _ in range(5000)]
+        hist = Histogram()
+        hist.observe_many(values)
+        bound = 2 ** (1 / (2 * DEFAULT_SUBDIV)) - 1
+        for q in (0.5, 0.9, 0.99):
+            true = exact_quantile(values, q)
+            assert hist.quantile(q) == pytest.approx(true, rel=bound)
+
+    def test_zero_and_negative_observations(self):
+        hist = Histogram()
+        hist.observe_many([0.0, 0.0, 0.0, 5.0])
+        assert hist.zeros == 3
+        assert hist.quantile(0.5) == 0.0
+        assert hist.quantile(1.0) == 5.0
+        # Negatives clamp into the zero bucket but keep the exact min.
+        hist.observe(-2.0)
+        assert hist.min == -2.0
+        assert hist.quantile(0.0) == -2.0
+        assert hist.quantile(0.25) == 0.0
+
+    def test_nan_is_ignored(self):
+        hist = Histogram()
+        hist.observe(float("nan"))
+        assert hist.count == 0
+
+    def test_invalid_args_raise(self):
+        with pytest.raises(ValueError):
+            Histogram(subdiv=0)
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    def test_merge_layout_mismatch_raises(self):
+        with pytest.raises(ValueError, match="subdiv"):
+            Histogram(subdiv=8).merge(Histogram(subdiv=4))
+
+    def test_payload_round_trip(self):
+        hist = Histogram()
+        hist.observe_many([0.0, 0.004, 3.5, 3.5, 120.0])
+        clone = Histogram.from_payload(hist.to_payload())
+        assert clone.counts == hist.counts
+        assert clone.zeros == hist.zeros
+        assert clone.summary() == hist.summary()
+
+    def test_empty_payload_round_trip(self):
+        clone = Histogram.from_payload(Histogram().to_payload())
+        assert clone.count == 0
+        assert math.isnan(clone.quantile(0.5))
+
+
+values_strategy = st.lists(
+    st.floats(
+        min_value=1e-9, max_value=1e9, allow_nan=False, allow_infinity=False
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+class TestMergeProperties:
+    @given(values=values_strategy, n_workers=st.integers(1, 6), seed=st.integers(0, 99))
+    @settings(max_examples=60, deadline=None)
+    def test_sharded_merge_equals_single_histogram(self, values, n_workers, seed):
+        """K shards merged in any order == one histogram, bucket for bucket."""
+        single = Histogram()
+        single.observe_many(values)
+
+        shards = [Histogram() for _ in range(n_workers)]
+        for i, value in enumerate(values):
+            shards[i % n_workers].observe(value)
+        random.Random(seed).shuffle(shards)
+        merged = Histogram()
+        for shard in shards:
+            merged.merge(shard)
+
+        assert merged.counts == single.counts
+        assert merged.zeros == single.zeros
+        assert merged.count == single.count
+        assert merged.min == single.min
+        assert merged.max == single.max
+        # Quantiles read only the final bucket counts: exactly equal.
+        for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+            assert merged.quantile(q) == single.quantile(q)
+        # Sums differ only by float addition order.
+        assert merged.total == pytest.approx(single.total)
+
+    @given(values=values_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_observation_order_is_irrelevant(self, values):
+        forward, backward = Histogram(), Histogram()
+        forward.observe_many(values)
+        backward.observe_many(reversed(values))
+        assert forward.counts == backward.counts
+        for q in (0.5, 0.9, 0.99):
+            assert forward.quantile(q) == backward.quantile(q)
+
+
+class TestSessionAbsorption:
+    """Worker-session exports carry histograms through absorb() intact."""
+
+    def test_absorbed_workers_equal_one_session(self):
+        rng = random.Random(3)
+        values = [rng.uniform(1e-4, 10.0) for _ in range(300)]
+
+        merged = ObsSession()
+        for start in range(0, len(values), 100):
+            worker = ObsSession()
+            for value in values[start : start + 100]:
+                worker.observe("latency_s", value)
+            merged.absorb(worker.export())
+
+        single = ObsSession()
+        for value in values:
+            single.observe("latency_s", value)
+
+        merged_hist = merged.histograms["latency_s"]
+        single_hist = single.histograms["latency_s"]
+        assert merged_hist.counts == single_hist.counts
+        assert merged_hist.count == len(values)
+        for q in (0.5, 0.9, 0.99, 1.0):
+            assert merged_hist.quantile(q) == single_hist.quantile(q)
+
+    def test_absorb_into_existing_histogram_merges(self):
+        parent = ObsSession()
+        parent.observe("h", 1.0)
+        worker = ObsSession()
+        worker.observe("h", 4.0)
+        parent.absorb(worker.export())
+        hist = parent.histograms["h"]
+        assert hist.count == 2
+        assert hist.min == 1.0 and hist.max == 4.0
+
+    def test_export_absorb_round_trips_through_pickleable_payload(self):
+        import json
+
+        worker = ObsSession()
+        worker.observe("h", 0.5)
+        payload = json.loads(json.dumps(worker.export()))
+        parent = ObsSession()
+        parent.absorb(payload)
+        assert parent.histograms["h"].count == 1

@@ -1,0 +1,130 @@
+"""Backward compatibility of the v2 trace schema with v1 traces.
+
+``tests/data/trace_v1.jsonl`` is a checked-in trace in the exact shape
+PR 2's emitter wrote (schema_version 1, no histogram lines).  Every
+consumer — the validator, ``repro report``, ``repro trace diff/top`` —
+must keep accepting it unchanged; histogram lines must remain a v2-only
+feature.
+"""
+
+import io
+import json
+from contextlib import redirect_stderr, redirect_stdout
+from pathlib import Path
+
+from repro.cli import main
+from repro.obs import (
+    SCHEMA_VERSION,
+    SUPPORTED_VERSIONS,
+    load_trace,
+    render_report,
+    validate_file,
+    validate_lines,
+)
+
+V1_FIXTURE = Path(__file__).parent / "data" / "trace_v1.jsonl"
+
+
+def run_cli(*argv: str, expect: int = 0) -> str:
+    buffer = io.StringIO()
+    with redirect_stdout(buffer), redirect_stderr(io.StringIO()):
+        exit_code = main(list(argv))
+    assert exit_code == expect, buffer.getvalue()
+    return buffer.getvalue()
+
+
+class TestV1Compatibility:
+    def test_version_constants(self):
+        assert SCHEMA_VERSION == 2
+        assert 1 in SUPPORTED_VERSIONS and 2 in SUPPORTED_VERSIONS
+
+    def test_v1_fixture_validates_cleanly(self):
+        assert validate_file(V1_FIXTURE) == []
+
+    def test_v1_fixture_loads_without_histograms(self):
+        trace = load_trace(V1_FIXTURE)
+        assert trace.schema_version == 1
+        assert trace.histograms == {}
+        assert trace.counters["mining.closed.patterns"] == 119
+        assert len(trace.spans) == 4
+
+    def test_report_renders_v1_trace(self):
+        out = run_cli("report", str(V1_FIXTURE))
+        assert "command : mine" in out
+        assert "cli.mine" in out
+        # No histogram section on a v1 trace, and no crash getting there.
+        assert "histogram" not in out
+
+    def test_trace_top_and_diff_accept_v1(self, tmp_path):
+        out = run_cli("trace", "top", str(V1_FIXTURE), "--json")
+        paths = [entry["path"] for entry in json.loads(out)]
+        assert "cli.mine/mining.generate/mining.partition" in paths
+
+        out = run_cli(
+            "trace", "diff", str(V1_FIXTURE), str(V1_FIXTURE), "--json"
+        )
+        assert json.loads(out)["summary"]["within_noise"]
+
+    def test_unknown_version_still_rejected(self):
+        lines = V1_FIXTURE.read_text().splitlines()
+        manifest = json.loads(lines[0])
+        manifest["schema_version"] = 99
+        errors = validate_lines([json.dumps(manifest)] + lines[1:])
+        assert any("schema_version" in error for error in errors)
+
+    def test_histogram_lines_require_v2(self):
+        lines = V1_FIXTURE.read_text().splitlines()
+        histogram = json.dumps(
+            {
+                "type": "histogram", "name": "h", "subdiv": 8,
+                "counts": {"0": 1}, "zeros": 0, "count": 1, "sum": 1.0,
+                "min": 1.0, "max": 1.0,
+            }
+        )
+        errors = validate_lines(lines[:-1] + [histogram, lines[-1]])
+        assert any("schema_version >= 2" in error for error in errors)
+        # The identical line inside a v2 trace is fine.
+        manifest = json.loads(lines[0])
+        manifest["schema_version"] = 2
+        errors = validate_lines(
+            [json.dumps(manifest)] + lines[1:-1] + [histogram, lines[-1]]
+        )
+        assert errors == []
+
+    def test_current_emitter_writes_v2(self, tmp_path):
+        trace_path = tmp_path / "now.jsonl"
+        run_cli(
+            "mine", "austral", "--scale", "0.2", "--min-support", "0.4",
+            "--trace", str(trace_path),
+        )
+        trace = load_trace(trace_path)
+        assert trace.schema_version == SCHEMA_VERSION
+        assert validate_file(trace_path) == []
+        # The new instruments actually land in the emitted trace.
+        assert "mining.partition.wall_s" in trace.histograms
+        rollup_hists = trace.rollup.get("histograms", {})
+        assert "mining.partition.wall_s" in rollup_hists
+        assert "p99" in rollup_hists["mining.partition.wall_s"]
+
+    def test_select_trace_records_scoring_and_kernel_histograms(self, tmp_path):
+        trace_path = tmp_path / "select.jsonl"
+        run_cli(
+            "select", "austral", "--scale", "0.2", "--min-support", "0.4",
+            "--trace", str(trace_path),
+        )
+        trace = load_trace(trace_path)
+        assert "bitset.kernel_batch_words" in trace.histograms
+        assert "measures.scoring.pattern_latency_s" in trace.histograms
+        kernel = trace.histograms["bitset.kernel_batch_words"]
+        assert kernel.count >= 1 and kernel.min > 0
+
+    def test_report_renders_histogram_percentiles_for_v2(self, tmp_path):
+        trace_path = tmp_path / "now.jsonl"
+        run_cli(
+            "mine", "austral", "--scale", "0.2", "--min-support", "0.4",
+            "--trace", str(trace_path),
+        )
+        out = run_cli("report", str(trace_path))
+        assert "histogram" in out
+        assert "p99" in out
+        assert "mining.partition.wall_s" in out
