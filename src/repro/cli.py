@@ -28,6 +28,16 @@ Commands
     Run the checkpointed end-to-end experiment (mine → select →
     cross-validate) into a run directory; ``--resume`` restores completed
     stages after a crash.
+``models publish`` / ``models list``
+    Publish a fitted pipeline (from a saved JSON file, or trained on the
+    spot from a dataset) into a fingerprinted model registry; list what a
+    registry holds, flagging corrupt artifacts.
+``predict``
+    Load a published model, compile it for serving, and predict a JSON
+    batch of transactions.
+``serve``
+    Run a published model behind the concurrent serving frontend over a
+    JSON workload and report latency/throughput percentiles.
 
 Every experiment command accepts ``--trace FILE``: the run then executes
 inside an instrumentation session (:mod:`repro.obs`) and writes a JSONL
@@ -395,6 +405,170 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_workload(path_arg: str):
+    """Transactions from a JSON workload file; (transactions, 0) on
+    success, (None, exit_code) on a missing or schema-invalid file.
+
+    Accepted shapes: a bare list of transactions, or an object with a
+    ``"transactions"`` key — each transaction a list of non-negative ints.
+    """
+    import json
+
+    path = Path(path_arg)
+    if not path.exists():
+        print(f"no such input file: {path}", file=sys.stderr)
+        return None, EXIT_MISSING_INPUT
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        print(f"{path}: not valid JSON ({exc})", file=sys.stderr)
+        return None, EXIT_SCHEMA_INVALID
+    if isinstance(payload, dict):
+        payload = payload.get("transactions")
+    if not isinstance(payload, list) or not all(
+        isinstance(t, list)
+        and all(isinstance(i, int) and not isinstance(i, bool) and i >= 0 for i in t)
+        for t in payload
+    ):
+        print(
+            f"{path}: expected a JSON list of transactions "
+            "(lists of non-negative item ids)",
+            file=sys.stderr,
+        )
+        return None, EXIT_SCHEMA_INVALID
+    return [tuple(t) for t in payload], 0
+
+
+def _cmd_models_publish(args: argparse.Namespace) -> int:
+    from .serving import ModelRegistry
+
+    if args.pipeline:
+        from .io import load_pipeline
+
+        path = Path(args.pipeline)
+        if not path.exists():
+            print(f"no such pipeline file: {path}", file=sys.stderr)
+            return EXIT_MISSING_INPUT
+        try:
+            pipeline = load_pipeline(path)
+        except (ValueError, KeyError, TypeError) as exc:
+            print(f"{path}: not a saved pipeline ({exc})", file=sys.stderr)
+            return EXIT_SCHEMA_INVALID
+    else:
+        from .features.pipeline import FrequentPatternClassifier
+
+        data = _load_transactions(args.dataset, args.scale)
+        pipeline = FrequentPatternClassifier(
+            min_support=args.min_support,
+            max_length=args.max_length,
+            delta=args.delta,
+        )
+        pipeline.fit(data)
+    record = ModelRegistry(args.registry).publish(pipeline, name=args.name)
+    print(
+        f"published {record.model_id} "
+        f"({record.name or 'unnamed'}, {record.model_kind}, "
+        f"{record.n_patterns} patterns) to {args.registry}"
+    )
+    return 0
+
+
+def _cmd_models_list(args: argparse.Namespace) -> int:
+    from .serving import ModelRegistry
+
+    print(ModelRegistry(args.registry).render_listing())
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    import json
+
+    from .runtime.cache import CorruptArtifactError
+    from .serving import ModelNotFoundError, ModelRegistry
+
+    transactions, status = _read_workload(args.input)
+    if transactions is None:
+        return status
+    registry = ModelRegistry(args.registry)
+    try:
+        model_id = registry.resolve(args.model)
+        compiled = registry.load_compiled(model_id, chunk_rows=args.chunk_rows)
+    except ModelNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_MISSING_INPUT
+    except CorruptArtifactError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_CORRUPT_CHECKPOINT
+    predictions = compiled.predict(transactions)
+    result = {
+        "model_id": model_id,
+        "n_rows": len(transactions),
+        "predictions": predictions.tolist(),
+    }
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(result, indent=1) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {len(transactions)} predictions to {args.output}")
+    else:
+        print(json.dumps(result, indent=1))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+    import time as _time
+
+    from .runtime.cache import CorruptArtifactError
+    from .serving import ModelNotFoundError, ModelRegistry, ServingFrontend
+
+    transactions, status = _read_workload(args.input)
+    if transactions is None:
+        return status
+    registry = ModelRegistry(args.registry)
+    try:
+        model_id = registry.resolve(args.model)
+        compiled = registry.load_compiled(model_id, chunk_rows=args.chunk_rows)
+    except ModelNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_MISSING_INPUT
+    except CorruptArtifactError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_CORRUPT_CHECKPOINT
+
+    batch = max(1, args.batch_rows)
+    started = _time.perf_counter()
+    with ServingFrontend(
+        compiled, n_workers=args.workers, queue_size=args.queue_size
+    ) as frontend:
+        futures = [
+            frontend.submit(transactions[i : i + batch])
+            for i in range(0, len(transactions), batch)
+        ]
+        for future in futures:
+            future.result()
+        stats = frontend.stats()
+    wall_s = _time.perf_counter() - started
+    stats["wall_s"] = wall_s
+    stats["rows_per_s"] = stats["rows"] / wall_s if wall_s > 0 else 0.0
+    stats["model_id"] = model_id
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+    else:
+        latency = stats["latency_s"]
+        print(
+            f"served {stats['rows']} rows in {stats['requests']} requests "
+            f"({args.workers} workers, batch={batch})"
+        )
+        print(
+            f"throughput {stats['rows_per_s']:,.0f} rows/s; request latency "
+            f"p50={1e3 * latency['p50']:.2f}ms "
+            f"p90={1e3 * latency['p90']:.2f}ms "
+            f"p99={1e3 * latency['p99']:.2f}ms"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -589,6 +763,79 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--seed", type=int, default=0)
     add_trace(experiment)
     experiment.set_defaults(handler=_cmd_experiment)
+
+    def add_registry(sub):
+        sub.add_argument(
+            "--registry", required=True, metavar="DIR",
+            help="model registry directory",
+        )
+
+    models = commands.add_parser(
+        "models", help="publish and list models in a fingerprinted registry"
+    )
+    models_sub = models.add_subparsers(dest="models_command", required=True)
+
+    publish = models_sub.add_parser(
+        "publish", help="publish a fitted pipeline into the registry"
+    )
+    add_registry(publish)
+    source = publish.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--pipeline", metavar="FILE",
+        help="saved pipeline JSON (see repro.io.save_pipeline)",
+    )
+    source.add_argument(
+        "--dataset", metavar="NAME",
+        help="train on a built-in dataset / .csv/.arff and publish the fit",
+    )
+    publish.add_argument("--name", default="", help="human-friendly model name")
+    publish.add_argument("--scale", type=float, default=1.0)
+    publish.add_argument("--min-support", type=float, default=0.1,
+                         dest="min_support")
+    publish.add_argument("--max-length", type=int, default=5, dest="max_length")
+    publish.add_argument("--delta", type=int, default=3)
+    publish.set_defaults(handler=_cmd_models_publish)
+
+    listing = models_sub.add_parser(
+        "list", help="list published models (corrupt artifacts flagged)"
+    )
+    add_registry(listing)
+    listing.set_defaults(handler=_cmd_models_list)
+
+    predict = commands.add_parser(
+        "predict", help="batch-predict a JSON workload with a published model"
+    )
+    predict.add_argument("model", help="model id, unique id prefix, or name")
+    predict.add_argument(
+        "--input", required=True, metavar="FILE",
+        help="JSON workload: a list of transactions (lists of item ids)",
+    )
+    add_registry(predict)
+    predict.add_argument("--output", metavar="FILE",
+                         help="write predictions JSON here (default: stdout)")
+    predict.add_argument("--chunk-rows", type=int, default=None,
+                         dest="chunk_rows")
+    add_trace(predict)
+    predict.set_defaults(handler=_cmd_predict)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run a workload through the concurrent serving frontend",
+    )
+    serve.add_argument("model", help="model id, unique id prefix, or name")
+    serve.add_argument(
+        "--input", required=True, metavar="FILE",
+        help="JSON workload: a list of transactions (lists of item ids)",
+    )
+    add_registry(serve)
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument("--batch-rows", type=int, default=256, dest="batch_rows")
+    serve.add_argument("--queue-size", type=int, default=64, dest="queue_size")
+    serve.add_argument("--chunk-rows", type=int, default=None, dest="chunk_rows")
+    serve.add_argument("--json", action="store_true",
+                       help="emit serving stats as JSON")
+    add_trace(serve)
+    serve.set_defaults(handler=_cmd_serve)
 
     return parser
 

@@ -76,12 +76,20 @@ def pack_bits(dense: np.ndarray) -> np.ndarray:
 
 
 def unpack_bits(words: np.ndarray, n_bits: int) -> np.ndarray:
-    """Inverse of :func:`pack_bits`: boolean array of shape ``(..., n_bits)``."""
+    """Inverse of :func:`pack_bits`: boolean array of shape ``(..., n_bits)``.
+
+    Single-pass: ``count=`` makes unpackbits emit exactly ``n_bits``
+    columns and the 0/1 uint8 result reinterprets as bool without a copy
+    — the slice-then-astype alternative would traverse the (often large)
+    dense output twice.
+    """
     words = np.ascontiguousarray(words, dtype=_WORD_DTYPE)
     if words.shape[-1] == 0:
         return np.zeros(words.shape[:-1] + (n_bits,), dtype=bool)
-    bits = np.unpackbits(words.view(np.uint8), axis=-1, bitorder="little")
-    return bits[..., :n_bits].astype(bool)
+    bits = np.unpackbits(
+        words.view(np.uint8), axis=-1, count=n_bits, bitorder="little"
+    )
+    return bits.view(np.bool_)
 
 
 def popcount(words: np.ndarray) -> np.ndarray:
@@ -170,9 +178,22 @@ class BitMatrix:
         """
         n_rows = len(transactions)
         dense = np.zeros((n_items, n_rows), dtype=bool)
-        for row, transaction in enumerate(transactions):
-            if transaction:
-                dense[list(transaction), row] = True
+        if n_rows:
+            # One flat scatter instead of a fancy-indexed assignment per
+            # row — serving packs a fresh BitMatrix per request batch, so
+            # this is a hot path, not just fit-time setup.
+            lengths = np.fromiter(
+                (len(t) for t in transactions), dtype=np.intp, count=n_rows
+            )
+            total = int(lengths.sum())
+            if total:
+                items = np.fromiter(
+                    (i for t in transactions for i in t),
+                    dtype=np.intp,
+                    count=total,
+                )
+                rows = np.repeat(np.arange(n_rows, dtype=np.intp), lengths)
+                dense[items, rows] = True
         return cls.from_dense(dense)
 
     # ------------------------------------------------------------------

@@ -67,33 +67,65 @@ class PatternFeaturizer:
                 names.append("pattern:{" + ",".join(map(str, pattern.items)) + "}")
         return names
 
+    def _item_bits(
+        self, data: TransactionDataset | Sequence[Sequence[int]]
+    ) -> tuple[BitMatrix, int]:
+        """Packed item tidsets over ``data`` plus the row count.
+
+        A :class:`TransactionDataset` contributes its cached masks (shared
+        with mining, stats and MMRFS — one occurrence structure per fit);
+        raw transaction sequences are packed on the fly.
+        """
+        if isinstance(data, TransactionDataset) and data.n_items == self.n_items:
+            return data.item_bits(), data.n_rows
+        transactions = (
+            data.transactions
+            if isinstance(data, TransactionDataset)
+            else list(data)
+        )
+        return BitMatrix.vertical(transactions, self.n_items), len(transactions)
+
+    def match_bits(
+        self, data: TransactionDataset | Sequence[Sequence[int]]
+    ) -> BitMatrix:
+        """Packed pattern-coverage masks: mask ``j`` marks the rows that
+        contain pattern ``j`` (one AND-reduction over item masks each).
+
+        This is the *naive per-pattern subset-check path* — the reference
+        semantics the compiled serving matcher (:mod:`repro.serving`) is
+        differential-tested against.
+        """
+        item_bits, n_rows = self._item_bits(data)
+        if not self.patterns:
+            return BitMatrix(
+                np.zeros((0, item_bits.words.shape[1]), dtype=item_bits.words.dtype),
+                n_rows,
+            )
+        pattern_words = np.stack(
+            [item_bits.and_reduce(p.items) for p in self.patterns]
+        )
+        return BitMatrix(pattern_words, n_rows)
+
+    def match_matrix(
+        self, data: TransactionDataset | Sequence[Sequence[int]]
+    ) -> np.ndarray:
+        """Boolean (n_rows, n_patterns) pattern-presence matrix."""
+        return self.match_bits(data).to_dense().T
+
     def transform(
         self, data: TransactionDataset | Sequence[Sequence[int]]
     ) -> np.ndarray:
         """Binary design matrix (n_rows, n_features) as float64.
 
-        Built from packed item bitsets: a :class:`TransactionDataset`
-        contributes its cached masks (shared with mining, stats and MMRFS
-        — one occurrence structure per fit), raw transaction sequences are
-        packed on the fly.  Each pattern column is an AND-reduction over
-        item masks.
+        Built from packed item bitsets; each pattern column is an
+        AND-reduction over item masks (see :meth:`match_bits`).
         """
         with _obs.span(
             "features.transform",
             n_patterns=len(self.patterns),
             include_items=self.include_items,
         ) as transform_span:
-            if isinstance(data, TransactionDataset) and data.n_items == self.n_items:
-                item_bits = data.item_bits()
-                n_rows = data.n_rows
-            else:
-                transactions = (
-                    data.transactions
-                    if isinstance(data, TransactionDataset)
-                    else list(data)
-                )
-                item_bits = BitMatrix.vertical(transactions, self.n_items)
-                n_rows = len(transactions)
+            item_bits, n_rows = self._item_bits(data)
             transform_span.set(rows=n_rows, features=self.n_features)
             _obs.add("features.transform_cells", n_rows * self.n_features)
             blocks = []

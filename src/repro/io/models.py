@@ -24,7 +24,14 @@ from ..features.pipeline import FrequentPatternClassifier
 from ..features.transformer import PatternFeaturizer
 from ..mining.itemsets import Pattern
 
-__all__ = ["save_pipeline", "load_pipeline", "model_to_json", "model_from_json"]
+__all__ = [
+    "save_pipeline",
+    "load_pipeline",
+    "model_to_json",
+    "model_from_json",
+    "pipeline_to_payload",
+    "pipeline_from_payload",
+]
 
 _FORMAT_VERSION = 1
 
@@ -136,19 +143,17 @@ def model_from_json(payload: dict) -> Classifier:
 # ----------------------------------------------------------------------
 # Pipeline persistence
 # ----------------------------------------------------------------------
-def save_pipeline(
-    pipeline: FrequentPatternClassifier,
-    target: str | Path | io.TextIOBase,
-) -> None:
-    """Persist a *fitted* pipeline (patterns + item mask + learner)."""
-    if isinstance(target, (str, Path)):
-        with open(target, "w", encoding="utf-8") as handle:
-            save_pipeline(pipeline, handle)
-            return
+def pipeline_to_payload(pipeline: FrequentPatternClassifier) -> dict:
+    """JSON-ready payload of a *fitted* pipeline (patterns + mask + learner).
+
+    This is the canonical serialized form shared by :func:`save_pipeline`
+    and the serving model registry (:mod:`repro.serving.registry`), which
+    content-addresses exactly this payload.
+    """
     if not pipeline._fitted:
         raise ValueError("only fitted pipelines can be saved")
     assert pipeline.featurizer_ is not None and pipeline.model_ is not None
-    payload = {
+    return {
         "format_version": _FORMAT_VERSION,
         "n_items": pipeline.featurizer_.n_items,
         "include_items": pipeline.featurizer_.include_items,
@@ -163,17 +168,10 @@ def save_pipeline(
         ),
         "model": model_to_json(pipeline.model_),
     }
-    json.dump(payload, target, indent=1)
 
 
-def load_pipeline(
-    source: str | Path | io.TextIOBase,
-) -> FrequentPatternClassifier:
-    """Load a pipeline saved by :func:`save_pipeline`, ready to predict."""
-    if isinstance(source, (str, Path)):
-        with open(source, "r", encoding="utf-8") as handle:
-            return load_pipeline(handle)
-    payload = json.load(source)
+def pipeline_from_payload(payload: dict) -> FrequentPatternClassifier:
+    """Inverse of :func:`pipeline_to_payload`: a pipeline ready to predict."""
     version = payload.get("format_version")
     if version != _FORMAT_VERSION:
         raise ValueError(f"unsupported pipeline format version: {version}")
@@ -194,3 +192,25 @@ def load_pipeline(
     pipeline.model_ = model_from_json(payload["model"])
     pipeline._fitted = True
     return pipeline
+
+
+def save_pipeline(
+    pipeline: FrequentPatternClassifier,
+    target: str | Path | io.TextIOBase,
+) -> None:
+    """Persist a *fitted* pipeline (patterns + item mask + learner)."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            save_pipeline(pipeline, handle)
+            return
+    json.dump(pipeline_to_payload(pipeline), target, indent=1)
+
+
+def load_pipeline(
+    source: str | Path | io.TextIOBase,
+) -> FrequentPatternClassifier:
+    """Load a pipeline saved by :func:`save_pipeline`, ready to predict."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return load_pipeline(handle)
+    return pipeline_from_payload(json.load(source))

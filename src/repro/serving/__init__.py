@@ -1,0 +1,43 @@
+"""Low-latency prediction serving for fitted pattern classifiers.
+
+Three layers, each usable on its own:
+
+* :mod:`~repro.serving.compiled` — :func:`compile_model` lowers a fitted
+  :class:`~repro.features.pipeline.FrequentPatternClassifier` into a
+  :class:`CompiledModel`: an item-indexed bitset matcher fused with the
+  classifier's linear decision function for single-pass batch prediction.
+* :mod:`~repro.serving.registry` — :class:`ModelRegistry` publishes and
+  loads models by content fingerprint on top of the runtime's
+  checksum-verified artifact cache.
+* :mod:`~repro.serving.frontend` — :class:`ServingFrontend` runs a
+  compiled model behind a bounded queue and a supervised worker pool.
+
+See ``docs/SERVING.md`` for the architecture walkthrough.
+"""
+
+from .compiled import (
+    DEFAULT_CHUNK_ROWS,
+    CompiledModel,
+    compile_model,
+    sanitize_transactions,
+)
+from .frontend import ServingClosedError, ServingFrontend
+from .registry import (
+    MODELS_STAGE,
+    ModelNotFoundError,
+    ModelRecord,
+    ModelRegistry,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_ROWS",
+    "MODELS_STAGE",
+    "CompiledModel",
+    "ModelNotFoundError",
+    "ModelRecord",
+    "ModelRegistry",
+    "ServingClosedError",
+    "ServingFrontend",
+    "compile_model",
+    "sanitize_transactions",
+]

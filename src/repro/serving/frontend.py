@@ -1,0 +1,222 @@
+"""Thread-pool serving frontend: bounded queue, worker supervision, SLOs.
+
+One :class:`CompiledModel` is immutable and thread-safe, so concurrency
+is purely a scheduling problem: accept prediction requests from many
+client threads, bound the memory a burst can pin (a *bounded* queue —
+back-pressure instead of unbounded buffering), execute on a fixed worker
+pool, and shut down without stranding accepted work.
+
+Delivery contract, enforced by the stress suite
+(``tests/test_serving_frontend.py``):
+
+* every accepted request completes exactly once — no drops, no
+  duplicates, results byte-identical to serial execution;
+* a worker death (staged via :func:`repro.testing.faults.fault_point`
+  at ``serve_worker:claim``) re-enqueues the request it was holding
+  and spawns a replacement worker, so in-flight work survives;
+* after :meth:`close`, new submissions are rejected but every already
+  accepted request is drained before workers stop.
+
+Latency accounting is two-layered: the frontend always records
+queue+execute latency per request into local
+:class:`~repro.obs.metrics.Histogram` instruments (`stats()` reports
+p50/p90/p99), and mirrors observations into the active
+:mod:`repro.obs` session when one is installed — so a traced ``repro
+serve`` run lands the same distributions in the JSONL trace the
+benchmark gate reads.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Sequence
+
+from ..obs import core as _obs
+from ..obs.metrics import Histogram
+from ..testing.faults import InjectedFault, fault_point
+from .compiled import CompiledModel
+
+__all__ = ["ServingClosedError", "ServingFrontend"]
+
+
+class ServingClosedError(RuntimeError):
+    """Submit was called on a frontend that is shutting down."""
+
+
+class _Request:
+    __slots__ = ("transactions", "future", "enqueued_at")
+
+    def __init__(self, transactions: Sequence[Sequence[int]]) -> None:
+        self.transactions = transactions
+        self.future: Future = Future()
+        self.enqueued_at = time.perf_counter()
+
+
+class ServingFrontend:
+    """Concurrent prediction frontend over one compiled model.
+
+    Parameters
+    ----------
+    model:
+        The compiled model every worker shares (read-only, thread-safe).
+    n_workers:
+        Worker threads executing predictions.
+    queue_size:
+        Maximum requests buffered; :meth:`submit` blocks once the queue
+        is full (bounded-memory back-pressure under burst load).
+    """
+
+    def __init__(
+        self,
+        model: CompiledModel,
+        n_workers: int = 2,
+        queue_size: int = 64,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        self.model = model
+        self.n_workers = int(n_workers)
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
+        self._closed = threading.Event()
+        self._stopped = threading.Event()
+        self._lock = threading.Lock()
+        self._workers: list[threading.Thread] = []
+        self._next_worker_id = 0
+        self._requests = 0
+        self._rows = 0
+        self._worker_deaths = 0
+        self._latency = Histogram()
+        self._batch_rows = Histogram()
+        for _ in range(self.n_workers):
+            self._spawn_worker()
+
+    # ------------------------------------------------------------------
+    def _spawn_worker(self) -> None:
+        with self._lock:
+            worker_id = self._next_worker_id
+            self._next_worker_id += 1
+            worker = threading.Thread(
+                target=self._worker_loop,
+                args=(worker_id,),
+                name=f"serving-worker-{worker_id}",
+                daemon=True,
+            )
+            self._workers.append(worker)
+        worker.start()
+
+    def _worker_loop(self, worker_id: int) -> None:
+        while True:
+            try:
+                request = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                if self._stopped.is_set():
+                    return
+                continue
+            try:
+                # The staged-death seam: an injected fault here models a
+                # worker dying *after* it claimed a request but before it
+                # produced a result — the hardest case for the
+                # no-drop/no-duplicate contract.  The point name is
+                # constant (not the worker id) so a fault plan's `times`
+                # bounds deaths globally — replacement workers share the
+                # budget instead of resetting it.
+                fault_point("serve_worker", "claim")
+            except InjectedFault:
+                with self._lock:
+                    self._worker_deaths += 1
+                _obs.add("serving.worker_deaths")
+                # Replacement FIRST: with the queue full, the re-enqueue
+                # below blocks until a consumer takes an item — if every
+                # worker died holding a request, no consumer would exist
+                # and re-enqueue + client submits would deadlock.
+                self._spawn_worker()
+                self._queue.put(request)  # hand the claimed request back
+                self._queue.task_done()  # ...and close out our claim
+                return
+            try:
+                result = self.model.predict(request.transactions)
+                request.future.set_result(result)
+            except BaseException as exc:  # a request error is a result
+                request.future.set_exception(exc)
+            finally:
+                latency = time.perf_counter() - request.enqueued_at
+                rows = len(request.transactions)
+                with self._lock:
+                    self._requests += 1
+                    self._rows += rows
+                    self._latency.observe(latency)
+                    self._batch_rows.observe(rows)
+                _obs.observe("serving.request_latency_s", latency)
+                _obs.observe("serving.batch_rows", rows)
+                _obs.add("serving.requests_served")
+                self._queue.task_done()
+
+    # ------------------------------------------------------------------
+    def submit(self, transactions: Sequence[Sequence[int]]) -> Future:
+        """Enqueue one prediction request; resolves to the label array.
+
+        Blocks while the bounded queue is full.  Raises
+        :class:`ServingClosedError` once :meth:`close` has been called.
+        """
+        if self._closed.is_set():
+            raise ServingClosedError("frontend is closed to new requests")
+        request = _Request(transactions)
+        self._queue.put(request)
+        return request.future
+
+    def predict(self, transactions: Sequence[Sequence[int]]) -> Any:
+        """Synchronous convenience: submit and wait for the labels."""
+        return self.submit(transactions).result()
+
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting requests; by default drain accepted work first.
+
+        With ``drain=False`` queued-but-unstarted requests are cancelled
+        (their futures fail with :class:`ServingClosedError`).
+        """
+        self._closed.set()
+        if drain:
+            self._queue.join()
+        else:
+            while True:
+                try:
+                    request = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                request.future.set_exception(
+                    ServingClosedError("frontend closed before execution")
+                )
+                self._queue.task_done()
+        self._stopped.set()
+        with self._lock:
+            workers = list(self._workers)
+        for worker in workers:
+            worker.join()
+
+    def __enter__(self) -> "ServingFrontend":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    def stats(self) -> dict[str, Any]:
+        """Serving counters and latency/batch-size rollups (p50/p90/p99)."""
+        with self._lock:
+            return {
+                "requests": self._requests,
+                "rows": self._rows,
+                "worker_deaths": self._worker_deaths,
+                "n_workers": self.n_workers,
+                "latency_s": self._latency.summary(),
+                "batch_rows": self._batch_rows.summary(),
+            }

@@ -1,0 +1,237 @@
+"""Fingerprinted model registry on the content-addressed artifact cache.
+
+Serving needs a handoff point between training and prediction: a place a
+fitted pipeline is *published* once and *loaded* many times, by id, from
+any process.  Rather than invent storage, the registry reuses
+:class:`~repro.runtime.cache.ArtifactCache` — the same envelope format,
+atomic writes, and checksum-verified reads the resumable experiment
+runtime already trusts.  Consequences, all inherited for free:
+
+* **content-addressed ids** — a model id is the SHA-256 fingerprint of
+  its serialized payload, so publishing the same fitted model twice is
+  idempotent and two registries holding the same id hold byte-identical
+  models;
+* **tamper detection** — every load re-verifies the payload digest; a
+  bit-rotted or truncated model raises
+  :class:`~repro.runtime.cache.CorruptArtifactError` instead of serving
+  silently wrong predictions;
+* **crash safety** — publishes go through the cache's temp-file +
+  ``os.replace`` discipline, so a registry never holds a torn model.
+
+Layout (inspectable JSON, one file per model)::
+
+    <root>/models/<model_id>.json
+
+Names are a human-friendly overlay: ``resolve`` accepts an exact model
+id, a unique id prefix, or a unique published name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from ..features.pipeline import FrequentPatternClassifier
+from ..io.models import pipeline_from_payload, pipeline_to_payload
+from ..obs import core as _obs
+from ..runtime.cache import ArtifactCache, CorruptArtifactError, content_key
+from .compiled import CompiledModel, compile_model
+
+__all__ = [
+    "MODELS_STAGE",
+    "ModelNotFoundError",
+    "ModelRecord",
+    "ModelRegistry",
+]
+
+#: The cache stage (subdirectory) holding published models.
+MODELS_STAGE = "models"
+
+_PAYLOAD_VERSION = 1
+
+
+class ModelNotFoundError(KeyError):
+    """No published model matches the requested reference."""
+
+    def __init__(self, registry_root: Path, reference: str, reason: str) -> None:
+        self.registry_root = Path(registry_root)
+        self.reference = reference
+        super().__init__(
+            f"no model {reference!r} in registry {registry_root}: {reason}"
+        )
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep the message
+        return self.args[0]
+
+
+@dataclass(frozen=True)
+class ModelRecord:
+    """One published model as listed by the registry."""
+
+    model_id: str
+    name: str
+    n_items: int
+    n_patterns: int
+    model_kind: str
+    path: Path
+    corrupt: bool = False
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "model_id": self.model_id,
+            "name": self.name,
+            "n_items": self.n_items,
+            "n_patterns": self.n_patterns,
+            "model_kind": self.model_kind,
+            "path": str(self.path),
+            "corrupt": self.corrupt,
+        }
+
+
+class ModelRegistry:
+    """Publish / load / list fitted models, keyed by content fingerprint."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.cache = ArtifactCache(self.root)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _payload(pipeline: FrequentPatternClassifier, name: str) -> dict:
+        return {
+            "payload_version": _PAYLOAD_VERSION,
+            "name": name,
+            "pipeline": pipeline_to_payload(pipeline),
+        }
+
+    @staticmethod
+    def _record(payload: dict, model_id: str, path: Path) -> ModelRecord:
+        pipeline = payload.get("pipeline", {})
+        return ModelRecord(
+            model_id=model_id,
+            name=str(payload.get("name", "")),
+            n_items=int(pipeline.get("n_items", 0)),
+            n_patterns=len(pipeline.get("patterns", [])),
+            model_kind=str(pipeline.get("model", {}).get("kind", "?")),
+            path=path,
+        )
+
+    def publish(
+        self, pipeline: FrequentPatternClassifier, name: str = ""
+    ) -> ModelRecord:
+        """Persist a fitted pipeline; returns its registry record.
+
+        The model id is the SHA-256 of the payload's canonical JSON —
+        republishing an identical model under the same name is a no-op
+        that returns the same id.
+        """
+        payload = self._payload(pipeline, name)
+        model_id = content_key(payload)
+        path = self.cache.put(MODELS_STAGE, model_id, payload)
+        _obs.add("serving.models_published")
+        _obs.event(
+            "model_published",
+            f"published model {model_id[:12]} ({name or 'unnamed'})",
+            model_id=model_id,
+        )
+        return self._record(payload, model_id, path)
+
+    # ------------------------------------------------------------------
+    def _ids(self) -> list[str]:
+        stage_dir = self.root / MODELS_STAGE
+        if not stage_dir.is_dir():
+            return []
+        return sorted(p.stem for p in stage_dir.glob("*.json"))
+
+    def resolve(self, reference: str) -> str:
+        """Model id for an exact id, unique id prefix, or unique name."""
+        ids = self._ids()
+        if reference in ids:
+            return reference
+        prefix_hits = [i for i in ids if i.startswith(reference)]
+        if len(prefix_hits) == 1:
+            return prefix_hits[0]
+        if len(prefix_hits) > 1:
+            raise ModelNotFoundError(
+                self.root, reference, f"ambiguous id prefix ({len(prefix_hits)} matches)"
+            )
+        name_hits = [
+            record.model_id
+            for record in self.list_models()
+            if not record.corrupt and record.name == reference
+        ]
+        if len(name_hits) == 1:
+            return name_hits[0]
+        if len(name_hits) > 1:
+            raise ModelNotFoundError(
+                self.root, reference, f"ambiguous name ({len(name_hits)} models)"
+            )
+        raise ModelNotFoundError(
+            self.root, reference, "no id, id prefix, or name matches"
+        )
+
+    def load_payload(self, reference: str) -> tuple[str, dict]:
+        """(model_id, verified payload); raises on missing or corrupt."""
+        model_id = self.resolve(reference)
+        payload = self.cache.get(MODELS_STAGE, model_id)
+        if payload is None:
+            raise ModelNotFoundError(self.root, reference, "artifact vanished")
+        return model_id, payload
+
+    def load_pipeline(self, reference: str) -> FrequentPatternClassifier:
+        """The published pipeline, checksum-verified, ready to predict."""
+        _, payload = self.load_payload(reference)
+        return pipeline_from_payload(payload["pipeline"])
+
+    def load_compiled(
+        self, reference: str, chunk_rows: int | None = None
+    ) -> CompiledModel:
+        """The published model compiled for serving (the hot-path loader)."""
+        pipeline = self.load_pipeline(reference)
+        if chunk_rows is None:
+            return compile_model(pipeline)
+        return compile_model(pipeline, chunk_rows=chunk_rows)
+
+    def list_models(self) -> list[ModelRecord]:
+        """Every published model, corrupt artifacts flagged rather than
+        hidden (an operator listing a registry must see the damage)."""
+        records: list[ModelRecord] = []
+        for model_id in self._ids():
+            path = self.cache.path_for(MODELS_STAGE, model_id)
+            try:
+                payload = self.cache.get(MODELS_STAGE, model_id)
+            except CorruptArtifactError:
+                records.append(
+                    ModelRecord(
+                        model_id=model_id,
+                        name="?",
+                        n_items=0,
+                        n_patterns=0,
+                        model_kind="?",
+                        path=path,
+                        corrupt=True,
+                    )
+                )
+                continue
+            if payload is not None:
+                records.append(self._record(payload, model_id, path))
+        return records
+
+    def render_listing(self) -> str:
+        """Plain-text table for ``repro models list``."""
+        records = self.list_models()
+        header = (
+            f"{'model_id':16s} {'name':20s} {'model':14s} "
+            f"{'items':>6s} {'patterns':>9s} {'status':>8s}"
+        )
+        lines = [header, "-" * len(header)]
+        for record in records:
+            lines.append(
+                f"{record.model_id[:16]:16s} {record.name[:20]:20s} "
+                f"{record.model_kind:14s} {record.n_items:6d} "
+                f"{record.n_patterns:9d} "
+                f"{'CORRUPT' if record.corrupt else 'ok':>8s}"
+            )
+        lines.append(f"{len(records)} model(s) in {self.root}")
+        return "\n".join(lines)

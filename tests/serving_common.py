@@ -1,0 +1,76 @@
+"""Shared builders for the serving test suites.
+
+Fitting a full pipeline is the expensive part of every serving test, so
+the fitted-pipeline builders here are memoized per (classifier kind,
+pipeline options) — the unit, differential, frontend, registry and CLI
+suites all reuse the same handful of fits.
+"""
+
+from __future__ import annotations
+
+from repro.classifiers.decision_tree import DecisionTree
+from repro.classifiers.linear_svm import LinearSVM
+from repro.classifiers.logistic import LogisticRegression
+from repro.classifiers.naive_bayes import BernoulliNaiveBayes
+from repro.datasets import SyntheticSpec, TransactionDataset, generate
+from repro.features.pipeline import FrequentPatternClassifier
+
+SERVING_SPEC = SyntheticSpec(
+    name="serving",
+    n_rows=240,
+    n_attributes=6,
+    n_classes=2,
+    arity=3,
+    pattern_attributes=3,
+    combos_per_class=2,
+    pattern_strength=0.85,
+    single_attributes=1,
+    single_strength=0.3,
+    attribute_noise=0.05,
+    label_noise=0.02,
+    seed=23,
+)
+
+MODEL_KINDS = ("svm", "logistic", "naive_bayes", "tree")
+
+_data_cache: TransactionDataset | None = None
+_pipeline_cache: dict = {}
+
+
+def make_classifier(kind: str):
+    if kind == "svm":
+        return LinearSVM(seed=5)
+    if kind == "logistic":
+        return LogisticRegression(max_iterations=60)
+    if kind == "naive_bayes":
+        return BernoulliNaiveBayes()
+    if kind == "tree":
+        return DecisionTree(max_depth=6)
+    raise ValueError(f"unknown classifier kind {kind!r}")
+
+
+def serving_data() -> TransactionDataset:
+    global _data_cache
+    if _data_cache is None:
+        _data_cache = TransactionDataset.from_dataset(generate(SERVING_SPEC))
+    return _data_cache
+
+
+def fitted_pipeline(
+    kind: str = "svm", **options
+) -> tuple[FrequentPatternClassifier, TransactionDataset]:
+    """A fitted pipeline over the shared serving dataset, memoized."""
+    key = (kind, tuple(sorted(options.items())))
+    if key not in _pipeline_cache:
+        data = serving_data()
+        pipeline = FrequentPatternClassifier(
+            classifier=make_classifier(kind),
+            min_support=0.15,
+            selection="topk",
+            top_k=25,
+            max_length=3,
+            **options,
+        )
+        pipeline.fit(data)
+        _pipeline_cache[key] = pipeline
+    return _pipeline_cache[key], serving_data()

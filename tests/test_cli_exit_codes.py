@@ -100,3 +100,89 @@ class TestResumeExitCodes:
         out, spec = completed_run
         assert main(_resume_args(out, spec)) == 0
         assert "austral" in capsys.readouterr().out
+
+
+@pytest.fixture(scope="module")
+def serving_registry(tmp_path_factory):
+    """A registry with one published model and a valid workload file."""
+    from repro.serving import ModelRegistry
+    from tests.serving_common import fitted_pipeline
+
+    root = tmp_path_factory.mktemp("serving-codes")
+    pipeline, data = fitted_pipeline("svm")
+    record = ModelRegistry(root / "registry").publish(pipeline, name="pinned")
+    workload = root / "workload.json"
+    workload.write_text(json.dumps([list(t) for t in data.transactions[:5]]))
+    return root / "registry", record, workload
+
+
+class TestServingExitCodes:
+    def test_missing_model_reference(self, serving_registry, capsys):
+        registry, _, workload = serving_registry
+        code = main(["predict", "no-such-model",
+                     "--registry", str(registry), "--input", str(workload)])
+        assert code == EXIT_MISSING_INPUT
+        assert "no model" in capsys.readouterr().err
+
+    def test_missing_workload_file(self, serving_registry, capsys):
+        registry, _, _ = serving_registry
+        code = main(["predict", "pinned", "--registry", str(registry),
+                     "--input", str(registry / "nope.json")])
+        assert code == EXIT_MISSING_INPUT
+        assert "no such input file" in capsys.readouterr().err
+
+    def test_malformed_workload(self, serving_registry, tmp_path, capsys):
+        registry, _, _ = serving_registry
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"transactions": [["a"]]}')
+        code = main(["predict", "pinned", "--registry", str(registry),
+                     "--input", str(bad)])
+        assert code == EXIT_SCHEMA_INVALID
+        assert "expected a JSON list" in capsys.readouterr().err
+
+    def test_unparseable_workload(self, serving_registry, tmp_path, capsys):
+        registry, _, _ = serving_registry
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code = main(["predict", "pinned", "--registry", str(registry),
+                     "--input", str(bad)])
+        assert code == EXIT_SCHEMA_INVALID
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_corrupt_model_artifact(self, serving_registry, capsys):
+        registry, record, workload = serving_registry
+        original = record.path.read_bytes()
+        corrupt_artifact(record.path, seed=9)
+        try:
+            code = main(["predict", record.model_id,
+                         "--registry", str(registry), "--input", str(workload)])
+        finally:
+            record.path.write_bytes(original)  # leave the fixture intact
+        assert code == EXIT_CORRUPT_CHECKPOINT
+        assert "corrupt" in capsys.readouterr().err
+
+    def test_serve_shares_the_same_codes(self, serving_registry, capsys):
+        registry, _, workload = serving_registry
+        code = main(["serve", "ghost",
+                     "--registry", str(registry), "--input", str(workload)])
+        assert code == EXIT_MISSING_INPUT
+
+    def test_publish_missing_pipeline_file(self, tmp_path, capsys):
+        code = main(["models", "publish", "--registry", str(tmp_path / "reg"),
+                     "--pipeline", str(tmp_path / "missing.json")])
+        assert code == EXIT_MISSING_INPUT
+        assert "no such pipeline file" in capsys.readouterr().err
+
+    def test_publish_invalid_pipeline_file(self, tmp_path, capsys):
+        bad = tmp_path / "not-a-pipeline.json"
+        bad.write_text(json.dumps({"format_version": 999}))
+        code = main(["models", "publish", "--registry", str(tmp_path / "reg"),
+                     "--pipeline", str(bad)])
+        assert code == EXIT_SCHEMA_INVALID
+        assert "not a saved pipeline" in capsys.readouterr().err
+
+    def test_successful_predict_exits_zero(self, serving_registry, capsys):
+        registry, _, workload = serving_registry
+        assert main(["predict", "pinned", "--registry", str(registry),
+                     "--input", str(workload)]) == 0
+        assert "predictions" in capsys.readouterr().out

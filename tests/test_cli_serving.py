@@ -1,0 +1,142 @@
+"""CLI coverage for the serving commands: models publish/list, predict,
+serve — happy paths and output formats (the error exit codes are pinned
+in ``test_cli_exit_codes.py``)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.io import save_pipeline
+from repro.serving import ModelRegistry, compile_model
+from tests.serving_common import fitted_pipeline
+
+
+@pytest.fixture(scope="module")
+def published(tmp_path_factory):
+    """A registry with one published model plus a saved workload file."""
+    root = tmp_path_factory.mktemp("serving-cli")
+    pipeline, data = fitted_pipeline("svm")
+    registry_dir = root / "registry"
+    record = ModelRegistry(registry_dir).publish(pipeline, name="cli-model")
+    workload = root / "workload.json"
+    workload.write_text(
+        json.dumps([list(t) for t in data.transactions[:60]]),
+        encoding="utf-8",
+    )
+    expected = compile_model(pipeline).predict(data.transactions[:60])
+    return registry_dir, record, workload, expected
+
+
+class TestModelsCommands:
+    def test_publish_from_pipeline_file(self, tmp_path, capsys):
+        pipeline, _ = fitted_pipeline("svm")
+        saved = tmp_path / "pipe.json"
+        save_pipeline(pipeline, saved)
+        code = main([
+            "models", "publish", "--registry", str(tmp_path / "reg"),
+            "--pipeline", str(saved), "--name", "from-file",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "published" in out and "from-file" in out
+        records = ModelRegistry(tmp_path / "reg").list_models()
+        assert [r.name for r in records] == ["from-file"]
+
+    def test_publish_by_training_on_dataset(self, tmp_path, capsys):
+        code = main([
+            "models", "publish", "--registry", str(tmp_path / "reg"),
+            "--dataset", "austral", "--scale", "0.1",
+            "--min-support", "0.4", "--max-length", "2",
+            "--name", "trained",
+        ])
+        assert code == 0
+        records = ModelRegistry(tmp_path / "reg").list_models()
+        assert len(records) == 1
+        assert records[0].name == "trained"
+        assert records[0].n_patterns > 0
+
+    def test_list_renders_table(self, published, capsys):
+        registry_dir, record, _, _ = published
+        code = main(["models", "list", "--registry", str(registry_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert record.model_id[:16] in out
+        assert "cli-model" in out
+        assert "1 model(s)" in out
+
+
+class TestPredictCommand:
+    def test_predict_to_stdout(self, published, capsys):
+        registry_dir, record, workload, expected = published
+        code = main([
+            "predict", "cli-model",
+            "--registry", str(registry_dir), "--input", str(workload),
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["model_id"] == record.model_id
+        assert payload["n_rows"] == len(expected)
+        assert payload["predictions"] == expected.tolist()
+
+    def test_predict_to_file_via_id_prefix(self, published, tmp_path, capsys):
+        registry_dir, record, workload, expected = published
+        out_file = tmp_path / "predictions.json"
+        code = main([
+            "predict", record.model_id[:10],
+            "--registry", str(registry_dir), "--input", str(workload),
+            "--output", str(out_file),
+        ])
+        assert code == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["predictions"] == expected.tolist()
+
+    def test_predict_accepts_wrapped_workload(self, published, tmp_path, capsys):
+        registry_dir, _, _, expected = published
+        _, data = fitted_pipeline("svm")
+        wrapped = tmp_path / "wrapped.json"
+        wrapped.write_text(json.dumps(
+            {"transactions": [list(t) for t in data.transactions[:60]]}
+        ))
+        code = main([
+            "predict", "cli-model",
+            "--registry", str(registry_dir), "--input", str(wrapped),
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["predictions"] == expected.tolist()
+
+
+class TestServeCommand:
+    def test_serve_reports_latency_and_throughput(self, published, capsys):
+        registry_dir, _, workload, _ = published
+        code = main([
+            "serve", "cli-model",
+            "--registry", str(registry_dir), "--input", str(workload),
+            "--workers", "3", "--batch-rows", "16",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 60 rows" in out
+        assert "p50=" in out and "p99=" in out
+
+    def test_serve_json_stats_match_workload(self, published, capsys):
+        registry_dir, record, workload, expected = published
+        code = main([
+            "serve", "cli-model",
+            "--registry", str(registry_dir), "--input", str(workload),
+            "--workers", "2", "--batch-rows", "7", "--json",
+        ])
+        assert code == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["model_id"] == record.model_id
+        assert stats["rows"] == len(expected)
+        assert stats["requests"] == int(np.ceil(len(expected) / 7))
+        assert stats["worker_deaths"] == 0
+        assert stats["rows_per_s"] > 0
+        assert stats["latency_s"]["count"] == stats["requests"]
+        for quantile in ("p50", "p90", "p99"):
+            assert stats["latency_s"][quantile] >= 0

@@ -1,0 +1,202 @@
+"""Unit tests for the compiled serving matcher and fused prediction.
+
+The exhaustive randomized parity checks live in
+``test_serving_differential.py``; this module pins the concrete
+behaviors — ingestion sanitization, chunking, every supported learner
+(fused and fallback), probability parity, and construction validation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.classifiers.naive_bayes import BernoulliNaiveBayes
+from repro.mining.itemsets import Pattern
+from repro.serving import CompiledModel, compile_model, sanitize_transactions
+from tests.serving_common import MODEL_KINDS, fitted_pipeline
+
+
+class TestSanitize:
+    def test_drops_out_of_range_ids_and_counts_them(self):
+        cleaned, dropped = sanitize_transactions([(0, 5, 99), (-1, 2)], 6)
+        assert cleaned == [(0, 5), (2,)]
+        assert dropped == 2
+
+    def test_dedupes_and_sorts_without_counting_duplicates(self):
+        cleaned, dropped = sanitize_transactions([(3, 1, 3, 1)], 6)
+        assert cleaned == [(1, 3)]
+        assert dropped == 0
+
+    def test_empty_inputs(self):
+        assert sanitize_transactions([], 6) == ([], 0)
+        assert sanitize_transactions([()], 6) == ([()], 0)
+
+
+class TestMatcher:
+    def test_matches_featurizer_on_clean_input(self):
+        pipeline, data = fitted_pipeline("svm")
+        compiled = compile_model(pipeline)
+        expected = pipeline.featurizer_.match_matrix(data.transactions)
+        got = compiled.match_matrix(data.transactions)
+        assert got.dtype == bool
+        assert np.array_equal(got, expected)
+
+    def test_chunking_is_invisible(self):
+        pipeline, data = fitted_pipeline("svm")
+        whole = compile_model(pipeline).match_matrix(data.transactions)
+        tiny_chunks = compile_model(pipeline, chunk_rows=3).match_matrix(
+            data.transactions
+        )
+        assert np.array_equal(whole, tiny_chunks)
+
+    def test_unknown_items_are_ignored_not_fatal(self):
+        pipeline, _ = fitted_pipeline("svm")
+        compiled = compile_model(pipeline)
+        noisy = [(0, 1, compiled.n_items + 40), (compiled.n_items,)]
+        clean = [(0, 1), ()]
+        assert np.array_equal(
+            compiled.match_matrix(noisy), compiled.match_matrix(clean)
+        )
+
+    def test_empty_pattern_matches_every_row(self):
+        compiled = CompiledModel(
+            n_items=4,
+            patterns=[Pattern(items=(), support=1), Pattern(items=(2,), support=1)],
+            include_items=True,
+            item_mask=None,
+            model=BernoulliNaiveBayes(),
+        )
+        matrix = compiled.match_matrix([(0,), (2,), ()])
+        assert matrix[:, 0].all()
+        assert matrix[:, 1].tolist() == [False, True, False]
+
+    def test_empty_batch(self):
+        pipeline, _ = fitted_pipeline("svm")
+        compiled = compile_model(pipeline)
+        assert compiled.match_matrix([]).shape == (0, compiled.n_patterns)
+        assert compiled.predict([]).shape == (0,)
+
+
+class TestPredictionParity:
+    @pytest.mark.parametrize("kind", MODEL_KINDS)
+    def test_predict_matches_pipeline(self, kind):
+        pipeline, data = fitted_pipeline(kind)
+        compiled = compile_model(pipeline)
+        expected = pipeline.predict(data)
+        got = compiled.predict(data.transactions)
+        assert got.dtype == expected.dtype
+        assert np.array_equal(got, expected)
+
+    @pytest.mark.parametrize("kind", MODEL_KINDS)
+    def test_predict_matches_under_tiny_chunks(self, kind):
+        pipeline, data = fitted_pipeline(kind)
+        compiled = compile_model(pipeline, chunk_rows=7)
+        assert np.array_equal(compiled.predict(data.transactions), pipeline.predict(data))
+
+    def test_item_mask_pipeline_parity(self):
+        pipeline, data = fitted_pipeline("svm", select_items=True)
+        assert pipeline.item_mask_ is not None  # the masked design path
+        compiled = compile_model(pipeline)
+        assert np.array_equal(compiled.predict(data.transactions), pipeline.predict(data))
+
+    def test_fused_kinds(self):
+        for kind, fused in (
+            ("svm", True),
+            ("logistic", True),
+            ("naive_bayes", True),
+            ("tree", False),
+        ):
+            pipeline, _ = fitted_pipeline(kind)
+            assert compile_model(pipeline).fused is fused
+
+    def test_nonidentity_binarize_falls_back_to_exact_design(self):
+        pipeline, data = fitted_pipeline("naive_bayes")
+        model = pipeline.model_
+        original = model.binarize
+        model.binarize = -1.0  # every feature re-binarizes to 1
+        try:
+            compiled = compile_model(pipeline)
+            assert not compiled.fused
+            assert np.array_equal(
+                compiled.predict(data.transactions), pipeline.predict(data)
+            )
+        finally:
+            model.binarize = original
+
+    def test_decision_scores_match_fused_prediction(self):
+        pipeline, data = fitted_pipeline("naive_bayes")
+        compiled = compile_model(pipeline)
+        scores = compiled.decision_scores(data.transactions)
+        assert scores.shape == (data.n_rows, 2)
+        labels = compiled.model.classes_[np.argmax(scores, axis=1)]
+        assert np.array_equal(labels, compiled.predict(data.transactions))
+
+    def test_decision_scores_rejects_unfused(self):
+        pipeline, _ = fitted_pipeline("tree")
+        with pytest.raises(TypeError, match="fused decision"):
+            compile_model(pipeline).decision_scores([(0,)])
+
+
+class TestPredictProba:
+    @pytest.mark.parametrize("kind", ("logistic", "naive_bayes"))
+    def test_matches_underlying_model(self, kind):
+        pipeline, data = fitted_pipeline(kind)
+        compiled = compile_model(pipeline)
+        design = pipeline.featurizer_.transform(data.transactions)
+        if kind == "logistic":
+            expected = pipeline.model_.predict_proba(design)
+        else:
+            log_posterior = pipeline.model_.predict_log_proba(design)
+            shifted = np.exp(
+                log_posterior - log_posterior.max(axis=1, keepdims=True)
+            )
+            expected = shifted / shifted.sum(axis=1, keepdims=True)
+        got = compiled.predict_proba(data.transactions)
+        assert np.allclose(got, expected, rtol=0, atol=1e-12)
+        assert np.allclose(got.sum(axis=1), 1.0)
+
+    def test_svm_has_no_probabilities(self):
+        pipeline, _ = fitted_pipeline("svm")
+        with pytest.raises(TypeError, match="probabilities"):
+            compile_model(pipeline).predict_proba([(0,)])
+
+
+class TestConstruction:
+    def test_unfitted_pipeline_rejected(self):
+        from repro.features.pipeline import FrequentPatternClassifier
+
+        with pytest.raises(ValueError, match="fitted"):
+            compile_model(FrequentPatternClassifier())
+
+    def test_out_of_range_pattern_rejected(self):
+        with pytest.raises(ValueError, match="never match"):
+            CompiledModel(
+                n_items=3,
+                patterns=[Pattern(items=(5,), support=1)],
+                include_items=True,
+                item_mask=None,
+                model=BernoulliNaiveBayes(),
+            )
+
+    def test_bad_item_mask_shape_rejected(self):
+        with pytest.raises(ValueError, match="item_mask"):
+            CompiledModel(
+                n_items=3,
+                patterns=[],
+                include_items=True,
+                item_mask=np.ones(5, dtype=bool),
+                model=BernoulliNaiveBayes(),
+            )
+
+    def test_bad_chunk_rows_rejected(self):
+        pipeline, _ = fitted_pipeline("svm")
+        with pytest.raises(ValueError, match="chunk_rows"):
+            compile_model(pipeline, chunk_rows=0)
+
+    def test_describe(self):
+        pipeline, _ = fitted_pipeline("svm")
+        info = compile_model(pipeline).describe()
+        assert info["model"] == "LinearSVM"
+        assert info["fused"] is True
+        assert info["n_features"] == info["n_items"] + info["n_patterns"]

@@ -1,0 +1,173 @@
+"""Stress tests for the concurrent serving frontend.
+
+The contract under test: however many client threads hammer one
+:class:`~repro.serving.frontend.ServingFrontend`, every accepted request
+completes exactly once with predictions byte-identical to serial
+execution — including while injected faults are killing workers
+mid-request (``repro.testing.faults`` staged at the ``serve_worker``
+seam).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serving import ServingClosedError, ServingFrontend, compile_model
+from repro.testing.faults import Fault, injected_faults
+from tests.serving_common import fitted_pipeline
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    pipeline, _ = fitted_pipeline("svm")
+    return compile_model(pipeline)
+
+
+@pytest.fixture(scope="module")
+def workload(compiled):
+    _, data = fitted_pipeline("svm")
+    batches = [
+        data.transactions[start : start + 9]
+        for start in range(0, data.n_rows, 9)
+    ]
+    serial = [compiled.predict(batch) for batch in batches]
+    return batches, serial
+
+
+def _hammer(frontend, batches, n_threads: int = 6, rounds: int = 3):
+    """Submit every batch from several threads at once; collect futures
+    keyed by (thread, round, batch index) so nothing can be conflated."""
+    futures = {}
+    lock = threading.Lock()
+
+    def client(thread_id: int) -> None:
+        for round_no in range(rounds):
+            for index, batch in enumerate(batches):
+                future = frontend.submit(batch)
+                with lock:
+                    futures[(thread_id, round_no, index)] = future
+
+    threads = [
+        threading.Thread(target=client, args=(t,)) for t in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return futures
+
+
+class TestConcurrentParity:
+    def test_concurrent_equals_serial(self, compiled, workload):
+        batches, serial = workload
+        with ServingFrontend(compiled, n_workers=4, queue_size=8) as frontend:
+            futures = _hammer(frontend, batches)
+            results = {key: f.result(timeout=30) for key, f in futures.items()}
+        n_threads, rounds = 6, 3
+        assert len(results) == n_threads * rounds * len(batches)
+        for (_, _, index), labels in results.items():
+            assert labels.tobytes() == serial[index].tobytes()
+        stats = frontend.stats()
+        assert stats["requests"] == len(results)
+        assert stats["rows"] == sum(len(b) for b in batches) * n_threads * rounds
+        assert stats["worker_deaths"] == 0
+        assert stats["latency_s"]["count"] == len(results)
+        assert stats["latency_s"]["p99"] >= stats["latency_s"]["p50"] >= 0
+
+    def test_single_worker_preserves_results(self, compiled, workload):
+        batches, serial = workload
+        with ServingFrontend(compiled, n_workers=1, queue_size=2) as frontend:
+            futures = [frontend.submit(batch) for batch in batches]
+            for future, expected in zip(futures, serial):
+                assert np.array_equal(future.result(timeout=30), expected)
+
+
+class TestWorkerDeath:
+    def test_no_drops_or_duplicates_under_worker_deaths(
+        self, compiled, workload, tmp_path
+    ):
+        batches, serial = workload
+        deaths = 3
+        # "raise" (not "exit") — these workers are threads of the test
+        # process; an exit fault would take the whole interpreter down.
+        faults = [Fault(point="serve_worker:claim", action="raise", times=deaths)]
+        with injected_faults(faults, tmp_path / "fault-state"):
+            with ServingFrontend(compiled, n_workers=3, queue_size=8) as frontend:
+                futures = _hammer(frontend, batches, n_threads=4, rounds=2)
+                results = {
+                    key: f.result(timeout=30) for key, f in futures.items()
+                }
+        assert len(results) == 4 * 2 * len(batches)
+        for (_, _, index), labels in results.items():
+            assert labels.tobytes() == serial[index].tobytes()
+        stats = frontend.stats()
+        assert stats["worker_deaths"] == deaths
+        # every request still completed exactly once
+        assert stats["requests"] == len(results)
+
+    def test_replacement_workers_keep_pool_alive(self, compiled, tmp_path):
+        # kill more workers than the pool holds; replacements must keep
+        # serving until the workload completes
+        faults = [Fault(point="serve_worker:claim", action="raise", times=5)]
+        batch = [(0, 1), (2,)]
+        expected = compiled.predict(batch)
+        with injected_faults(faults, tmp_path / "fault-state"):
+            with ServingFrontend(compiled, n_workers=2, queue_size=4) as frontend:
+                results = [frontend.predict(batch) for _ in range(20)]
+        for labels in results:
+            assert np.array_equal(labels, expected)
+        assert frontend.stats()["worker_deaths"] == 5
+
+
+class TestLifecycle:
+    def test_submit_after_close_raises(self, compiled):
+        frontend = ServingFrontend(compiled, n_workers=1)
+        frontend.close()
+        assert frontend.closed
+        with pytest.raises(ServingClosedError):
+            frontend.submit([(0,)])
+
+    def test_close_drains_accepted_work(self, compiled, workload):
+        batches, serial = workload
+        frontend = ServingFrontend(compiled, n_workers=2, queue_size=64)
+        futures = [frontend.submit(batch) for batch in batches]
+        frontend.close()  # default drain=True
+        for future, expected in zip(futures, serial):
+            assert np.array_equal(future.result(timeout=0), expected)
+
+    def test_close_without_drain_fails_pending_futures(self, compiled, tmp_path):
+        # Stall both workers with sleep faults so submissions stay queued,
+        # then close(drain=False): queued futures must fail, not hang.
+        faults = [
+            Fault(point="serve_worker:claim", action="sleep", seconds=0.3, times=2)
+        ]
+        with injected_faults(faults, tmp_path / "fault-state"):
+            frontend = ServingFrontend(compiled, n_workers=2, queue_size=16)
+            futures = [frontend.submit([(0,)]) for _ in range(10)]
+            frontend.close(drain=False)
+        outcomes = {"done": 0, "cancelled": 0}
+        for future in futures:
+            try:
+                future.result(timeout=5)
+                outcomes["done"] += 1
+            except ServingClosedError:
+                outcomes["cancelled"] += 1
+        assert outcomes["done"] + outcomes["cancelled"] == 10
+        assert outcomes["cancelled"] > 0
+
+    def test_constructor_validation(self, compiled):
+        with pytest.raises(ValueError):
+            ServingFrontend(compiled, n_workers=0)
+        with pytest.raises(ValueError):
+            ServingFrontend(compiled, queue_size=0)
+
+    def test_request_error_resolves_future(self, compiled):
+        with ServingFrontend(compiled, n_workers=1) as frontend:
+            future = frontend.submit([["not", "items"]])
+            with pytest.raises(Exception):
+                future.result(timeout=30)
+        # the frontend survives a poisoned request
+        assert frontend.stats()["requests"] == 1

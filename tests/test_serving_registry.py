@@ -1,0 +1,161 @@
+"""Model registry: publish/load round-trips, tamper detection, resolution.
+
+The registry inherits the artifact cache's envelope verification, so the
+tests here pin the *serving-facing* consequences: a published model
+reloads byte-identical (same process or a fresh one), a flipped byte
+raises :class:`~repro.runtime.cache.CorruptArtifactError` instead of
+serving silently wrong predictions, and listing flags — not hides —
+damaged artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.runtime.cache import CorruptArtifactError
+from repro.serving import (
+    MODELS_STAGE,
+    ModelNotFoundError,
+    ModelRegistry,
+    compile_model,
+)
+from repro.testing.faults import corrupt_artifact
+from tests.serving_common import fitted_pipeline
+
+
+@pytest.fixture()
+def registry(tmp_path):
+    return ModelRegistry(tmp_path / "registry")
+
+
+class TestPublish:
+    def test_round_trip_predictions_identical(self, registry):
+        pipeline, data = fitted_pipeline("svm")
+        record = registry.publish(pipeline, name="svm-model")
+        reloaded = registry.load_pipeline(record.model_id)
+        assert np.array_equal(reloaded.predict(data), pipeline.predict(data))
+        compiled = registry.load_compiled(record.model_id)
+        assert np.array_equal(
+            compiled.predict(data.transactions), pipeline.predict(data)
+        )
+
+    def test_publish_is_idempotent(self, registry):
+        pipeline, _ = fitted_pipeline("svm")
+        first = registry.publish(pipeline, name="twin")
+        second = registry.publish(pipeline, name="twin")
+        assert first.model_id == second.model_id
+        assert len(registry.list_models()) == 1
+
+    def test_different_names_are_different_models(self, registry):
+        pipeline, _ = fitted_pipeline("svm")
+        a = registry.publish(pipeline, name="a")
+        b = registry.publish(pipeline, name="b")
+        assert a.model_id != b.model_id  # the name is part of the payload
+
+    def test_record_describes_the_model(self, registry):
+        pipeline, _ = fitted_pipeline("naive_bayes")
+        record = registry.publish(pipeline, name="nb")
+        assert record.model_kind == "naive_bayes"
+        assert record.n_patterns == len(pipeline.selected_patterns)
+        assert record.n_items == pipeline.featurizer_.n_items
+        assert not record.corrupt
+        assert record.path.exists()
+        assert record.to_json()["name"] == "nb"
+
+    def test_unfitted_pipeline_rejected(self, registry):
+        from repro.features.pipeline import FrequentPatternClassifier
+
+        with pytest.raises(ValueError, match="fitted"):
+            registry.publish(FrequentPatternClassifier())
+
+
+class TestCrossProcess:
+    def test_reload_in_fresh_process_is_byte_identical(self, registry, tmp_path):
+        pipeline, data = fitted_pipeline("logistic")
+        record = registry.publish(pipeline, name="xproc")
+        expected = compile_model(pipeline).predict(data.transactions)
+        workload = [list(t) for t in data.transactions]
+        script = (
+            "import json, sys\n"
+            "from repro.serving import ModelRegistry\n"
+            "registry = ModelRegistry(sys.argv[1])\n"
+            "compiled = registry.load_compiled(sys.argv[2])\n"
+            "transactions = json.loads(sys.argv[3])\n"
+            "print(json.dumps(compiled.predict(transactions).tolist()))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script, str(registry.root), record.model_id,
+             json.dumps(workload)],
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=str(tmp_path),
+            env={"PYTHONPATH": str(Path(__file__).resolve().parents[1] / "src")},
+        )
+        assert json.loads(out.stdout) == expected.tolist()
+
+
+class TestTamper:
+    def test_corrupted_model_raises_on_load(self, registry):
+        pipeline, _ = fitted_pipeline("svm")
+        record = registry.publish(pipeline, name="victim")
+        corrupt_artifact(record.path, seed=3)
+        with pytest.raises(CorruptArtifactError):
+            registry.load_pipeline(record.model_id)
+
+    def test_listing_flags_corruption_instead_of_hiding(self, registry):
+        pipeline, _ = fitted_pipeline("svm")
+        keep = registry.publish(pipeline, name="keep")
+        victim = registry.publish(pipeline, name="victim")
+        corrupt_artifact(victim.path, seed=5)
+        records = {r.model_id: r for r in registry.list_models()}
+        assert len(records) == 2
+        assert not records[keep.model_id].corrupt
+        assert records[victim.model_id].corrupt
+        listing = registry.render_listing()
+        assert "CORRUPT" in listing and "ok" in listing
+
+    def test_vanished_artifact_is_not_found(self, registry):
+        pipeline, _ = fitted_pipeline("svm")
+        record = registry.publish(pipeline, name="gone")
+        record.path.unlink()
+        with pytest.raises(ModelNotFoundError):
+            registry.load_pipeline(record.model_id)
+
+
+class TestResolve:
+    def test_exact_id_prefix_and_name(self, registry):
+        pipeline, _ = fitted_pipeline("svm")
+        record = registry.publish(pipeline, name="resolve-me")
+        assert registry.resolve(record.model_id) == record.model_id
+        assert registry.resolve(record.model_id[:10]) == record.model_id
+        assert registry.resolve("resolve-me") == record.model_id
+
+    def test_unknown_reference(self, registry):
+        with pytest.raises(ModelNotFoundError, match="no id"):
+            registry.resolve("does-not-exist")
+
+    def test_ambiguous_name(self, registry):
+        svm, _ = fitted_pipeline("svm")
+        nb, _ = fitted_pipeline("naive_bayes")
+        registry.publish(svm, name="shared")
+        registry.publish(nb, name="shared")
+        with pytest.raises(ModelNotFoundError, match="ambiguous name"):
+            registry.resolve("shared")
+
+    def test_error_message_is_readable(self, registry):
+        with pytest.raises(ModelNotFoundError) as excinfo:
+            registry.resolve("nope")
+        assert "registry" in str(excinfo.value)  # not KeyError's quoted repr
+
+    def test_models_stage_layout(self, registry):
+        pipeline, _ = fitted_pipeline("svm")
+        record = registry.publish(pipeline, name="layout")
+        assert record.path.parent.name == MODELS_STAGE
+        assert record.path.name == f"{record.model_id}.json"
