@@ -37,7 +37,15 @@ Commands
     batch of transactions.
 ``serve``
     Run a published model behind the concurrent serving frontend over a
-    JSON workload and report latency/throughput percentiles.
+    JSON workload and report latency/throughput percentiles.  With
+    ``--metrics-port`` (or ``--telemetry``) the run attaches live
+    windowed telemetry — rolling p50/p90/p99, rate counters, sampled
+    request traces, SLO alerts — and serves ``/stats.json`` plus
+    ``/metrics`` (Prometheus text) over HTTP; ``--repeat`` /
+    ``--min-seconds`` replay the workload for long-running serving.
+``monitor``
+    Poll a running serve's metrics endpoint and print one summary line
+    (req/s, rows/s, p50/p90/p99, queue depth, SLO state) per interval.
 
 Every experiment command accepts ``--trace FILE``: the run then executes
 inside an instrumentation session (:mod:`repro.obs`) and writes a JSONL
@@ -515,6 +523,61 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_telemetry(args: argparse.Namespace):
+    """A ServingTelemetry from the serve flags, or None when every
+    telemetry-facing flag is at its off default (keeps the plain
+    ``repro serve`` path exactly as cheap as before)."""
+    from .obs.live import SloRule
+    from .serving import ServingTelemetry, TelemetryConfig, TraceEventLog
+
+    slos = []
+    if args.slo_p99_ms is not None:
+        slos.append(
+            SloRule("p99_latency", "p99_latency_s", args.slo_p99_ms / 1e3)
+        )
+    if args.slo_error_rate is not None:
+        slos.append(SloRule("error_rate", "error_rate", args.slo_error_rate))
+    if args.slo_queue_saturation is not None:
+        slos.append(
+            SloRule(
+                "queue_saturation",
+                "queue_saturation",
+                args.slo_queue_saturation,
+            )
+        )
+    wanted = (
+        args.telemetry
+        or args.metrics_port is not None
+        or args.trace_events
+        or slos
+    )
+    if not wanted:
+        return None
+    event_log = (
+        TraceEventLog(
+            args.trace_events,
+            command="serve",
+            config=_manifest_config(args),
+        )
+        if args.trace_events
+        else None
+    )
+    return ServingTelemetry(
+        TelemetryConfig(
+            slice_seconds=args.slice_seconds,
+            sample_every=args.sample_every,
+            slos=tuple(slos),
+        ),
+        event_log=event_log,
+    )
+
+
+def _manifest_config(args: argparse.Namespace):
+    from .obs.manifest import jsonable_config
+
+    return jsonable_config(vars(args))
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
     import time as _time
@@ -536,22 +599,50 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(str(exc), file=sys.stderr)
         return EXIT_CORRUPT_CHECKPOINT
 
+    telemetry = _build_telemetry(args)
+    stats_server = None
+    if args.metrics_port is not None:
+        from .serving import StatsServer
+
+        stats_server = StatsServer(
+            telemetry, host=args.metrics_host, port=args.metrics_port
+        ).start()
+        print(f"metrics endpoint at {stats_server.url}", file=sys.stderr)
+
     batch = max(1, args.batch_rows)
     started = _time.perf_counter()
-    with ServingFrontend(
-        compiled, n_workers=args.workers, queue_size=args.queue_size
-    ) as frontend:
-        futures = [
-            frontend.submit(transactions[i : i + batch])
-            for i in range(0, len(transactions), batch)
-        ]
-        for future in futures:
-            future.result()
-        stats = frontend.stats()
+    try:
+        with ServingFrontend(
+            compiled,
+            n_workers=args.workers,
+            queue_size=args.queue_size,
+            telemetry=telemetry,
+        ) as frontend:
+            rounds = 0
+            while True:
+                futures = [
+                    frontend.submit(transactions[i : i + batch])
+                    for i in range(0, len(transactions), batch)
+                ]
+                for future in futures:
+                    future.result()
+                rounds += 1
+                elapsed = _time.perf_counter() - started
+                if rounds >= args.repeat and elapsed >= args.min_seconds:
+                    break
+            stats = frontend.stats()
+    finally:
+        if stats_server is not None:
+            stats_server.close()
+        if telemetry is not None:
+            telemetry.close()
     wall_s = _time.perf_counter() - started
     stats["wall_s"] = wall_s
     stats["rows_per_s"] = stats["rows"] / wall_s if wall_s > 0 else 0.0
     stats["model_id"] = model_id
+    stats["workload_rounds"] = rounds
+    if telemetry is not None:
+        stats["telemetry"] = telemetry.snapshot()
     if args.json:
         print(json.dumps(stats, indent=2, sort_keys=True))
     else:
@@ -566,7 +657,64 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"p90={1e3 * latency['p90']:.2f}ms "
             f"p99={1e3 * latency['p99']:.2f}ms"
         )
+        if telemetry is not None:
+            slo = stats["telemetry"]["slo"]
+            if slo["rules"]:
+                firing = ", ".join(slo["firing"]) or "none"
+                print(
+                    f"SLO: {len(slo['rules'])} rule(s), firing: {firing}, "
+                    f"breach windows: {slo['breaches']}"
+                )
     return 0
+
+
+def _monitor_line(snapshot: dict) -> str:
+    """One ``repro monitor`` interval rendered as a fixed-width line."""
+    windowed = snapshot.get("windowed", {})
+    latency = windowed.get("latency_s") or {}
+    queue = snapshot.get("queue", {})
+    slo = snapshot.get("slo", {})
+    firing = slo.get("firing") or []
+
+    def ms(key: str) -> str:
+        value = latency.get(key)
+        return "      -" if value is None else f"{1e3 * value:7.2f}"
+
+    depth = queue.get("depth")
+    depth_s = "  -" if depth is None else f"{depth:3d}"
+    slo_s = "ALERT " + ",".join(firing) if firing else "ok"
+    return (
+        f"req/s {windowed.get('requests_per_s', 0.0):8.1f}  "
+        f"rows/s {windowed.get('rows_per_s', 0.0):10.1f}  "
+        f"err/s {windowed.get('errors_per_s', 0.0):6.2f}  "
+        f"p50 {ms('p50')}ms  p90 {ms('p90')}ms  p99 {ms('p99')}ms  "
+        f"q {depth_s}  slo {slo_s}"
+    )
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    import json
+    import time as _time
+    import urllib.error
+    import urllib.request
+
+    url = f"http://{args.host}:{args.port}/stats.json"
+    iterations = 0
+    while True:
+        try:
+            with urllib.request.urlopen(url, timeout=args.timeout) as response:
+                snapshot = json.loads(response.read().decode("utf-8"))
+        except (urllib.error.URLError, OSError, json.JSONDecodeError) as exc:
+            print(f"cannot scrape {url}: {exc}", file=sys.stderr)
+            return EXIT_MISSING_INPUT
+        if args.json:
+            print(json.dumps(snapshot, sort_keys=True))
+        else:
+            print(_monitor_line(snapshot), flush=True)
+        iterations += 1
+        if args.iterations and iterations >= args.iterations:
+            return 0
+        _time.sleep(args.interval)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -834,8 +982,61 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--chunk-rows", type=int, default=None, dest="chunk_rows")
     serve.add_argument("--json", action="store_true",
                        help="emit serving stats as JSON")
+    serve.add_argument("--repeat", type=int, default=1,
+                       help="run the workload this many times (default: 1)")
+    serve.add_argument("--min-seconds", type=float, default=0.0,
+                       dest="min_seconds",
+                       help="keep replaying the workload until this much "
+                            "wall time has elapsed")
+    serve.add_argument("--telemetry", action="store_true",
+                       help="attach live windowed telemetry even without "
+                            "a metrics endpoint")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       dest="metrics_port", metavar="PORT",
+                       help="serve /stats.json and /metrics on this port "
+                            "(0 picks an ephemeral port); implies telemetry")
+    serve.add_argument("--metrics-host", default="127.0.0.1",
+                       dest="metrics_host",
+                       help="bind address for the metrics endpoint "
+                            "(default: 127.0.0.1)")
+    serve.add_argument("--trace-events", default=None, dest="trace_events",
+                       metavar="FILE",
+                       help="append sampled request events to this JSONL "
+                            "trace (schema-v2; readable by `repro report`)")
+    serve.add_argument("--sample-every", type=int, default=16,
+                       dest="sample_every", metavar="K",
+                       help="trace every K-th request id (default: 16)")
+    serve.add_argument("--slice-seconds", type=float, default=10.0,
+                       dest="slice_seconds",
+                       help="width of one telemetry window slice "
+                            "(default: 10; 6 slices make the window)")
+    serve.add_argument("--slo-p99-ms", type=float, default=None,
+                       dest="slo_p99_ms", metavar="MS",
+                       help="alert when windowed p99 latency exceeds MS")
+    serve.add_argument("--slo-error-rate", type=float, default=None,
+                       dest="slo_error_rate", metavar="FRAC",
+                       help="alert when windowed error rate exceeds FRAC")
+    serve.add_argument("--slo-queue-saturation", type=float, default=None,
+                       dest="slo_queue_saturation", metavar="FRAC",
+                       help="alert when queue depth/capacity exceeds FRAC")
     add_trace(serve)
     serve.set_defaults(handler=_cmd_serve)
+
+    monitor = commands.add_parser(
+        "monitor",
+        help="poll a serving metrics endpoint; one line per interval",
+    )
+    monitor.add_argument("--host", default="127.0.0.1")
+    monitor.add_argument("--port", type=int, required=True)
+    monitor.add_argument("--interval", type=float, default=2.0,
+                         help="seconds between polls (default: 2)")
+    monitor.add_argument("--iterations", type=int, default=0,
+                         help="stop after N polls (default: run forever)")
+    monitor.add_argument("--timeout", type=float, default=5.0,
+                         help="per-request HTTP timeout in seconds")
+    monitor.add_argument("--json", action="store_true",
+                         help="print the raw snapshot JSON per poll")
+    monitor.set_defaults(handler=_cmd_monitor)
 
     return parser
 

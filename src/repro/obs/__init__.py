@@ -48,6 +48,7 @@ from .core import (
     worker_session,
 )
 from .emit import phase_rollup, trace_lines, write_trace
+from .live import SloMonitor, SloRule, WindowedCounter, WindowedHistogram
 from .manifest import build_manifest, git_sha
 from .metrics import Histogram
 from .report import TraceData, load_trace, render_report
@@ -63,7 +64,11 @@ __all__ = [
     "SUPPORTED_VERSIONS",
     "Histogram",
     "ObsSession",
+    "SloMonitor",
+    "SloRule",
     "TraceData",
+    "WindowedCounter",
+    "WindowedHistogram",
     "active",
     "add",
     "aggregate_paths",

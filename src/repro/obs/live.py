@@ -1,0 +1,370 @@
+"""Windowed instruments and SLO monitoring for long-running processes.
+
+The base instruments in :mod:`repro.obs.metrics` are *cumulative*: a
+:class:`~repro.obs.metrics.Histogram` answers "what was p99 since process
+start", which is the right shape for batch runs and traces but useless
+for a serving process that has been up for a week — a latency regression
+five minutes ago drowns in millions of old observations.  This module
+adds the *live* counterparts:
+
+* :class:`WindowedHistogram` — a time-sliced ring of N rotating
+  :class:`~repro.obs.metrics.Histogram` slices (default 6 × 10 s).
+  Each observation lands in the slice owning its timestamp's epoch
+  (``floor(now / slice_seconds)``); reading merges the live slices with
+  the same order-invariant bucket merge the process-pool absorption
+  path uses, so rolling p50/p90/p99 carry the identical ~4.4% error
+  bound — and slices older than the window are evicted, so the rollup
+  really is "the last minute", not "since boot".
+* :class:`WindowedCounter` — the rate half: per-slice sums with a
+  windowed total and a requests-per-second style :meth:`rate`.
+* :class:`SloRule` / :class:`SloMonitor` — declarative thresholds over
+  a mapping of live metric values (p99 latency, error rate, queue
+  saturation), evaluated per window rotation, with firing/resolved
+  *transitions* (not repeated spam), per-rule breach counters, and
+  every transition emitted through the :mod:`repro.obs.core` event
+  channel so traced runs record their alerts.
+
+Every method takes an optional explicit ``now`` and every class an
+injectable ``clock`` (default ``time.monotonic``), so the rotation and
+eviction semantics are deterministic under test — the property suite in
+``tests/test_obs_live.py`` proves merged-slice quantiles equal a single
+histogram of the same live observations, in any observation order.
+
+Like everything in ``repro.obs``, this module uses only the standard
+library and must not import from the rest of ``repro``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from . import core as _core
+from .metrics import DEFAULT_SUBDIV, Histogram
+
+__all__ = [
+    "DEFAULT_SLICES",
+    "DEFAULT_SLICE_SECONDS",
+    "SloMonitor",
+    "SloRule",
+    "WindowedCounter",
+    "WindowedHistogram",
+]
+
+#: Default number of rotating slices per window.
+DEFAULT_SLICES = 6
+
+#: Default wall-clock width of one slice, in seconds.
+DEFAULT_SLICE_SECONDS = 10.0
+
+#: Alert transitions retained by an :class:`SloMonitor` (bounded memory).
+MAX_ALERT_HISTORY = 64
+
+
+class _SliceRing:
+    """Shared epoch bookkeeping for the windowed instruments.
+
+    Slices are keyed by epoch ``floor(now / slice_seconds)``.  The live
+    window is the ``n_slices`` most recent epochs *relative to the
+    latest epoch ever seen*; anything older is evicted on the next
+    recording or read.  Keying by the maximum epoch (rather than a
+    mutable cursor) makes retention a pure function of the observation
+    timestamps — the property the order-invariance tests pin down.
+    """
+
+    __slots__ = (
+        "n_slices",
+        "slice_seconds",
+        "_clock",
+        "_slices",
+        "_latest_epoch",
+        "_first_now",
+        "_lock",
+    )
+
+    def __init__(
+        self,
+        n_slices: int,
+        slice_seconds: float,
+        clock: Callable[[], float] | None,
+    ) -> None:
+        if n_slices < 1:
+            raise ValueError("n_slices must be >= 1")
+        if slice_seconds <= 0:
+            raise ValueError("slice_seconds must be > 0")
+        self.n_slices = int(n_slices)
+        self.slice_seconds = float(slice_seconds)
+        self._clock = clock if clock is not None else time.monotonic
+        self._slices: dict[int, Any] = {}
+        self._latest_epoch: int | None = None
+        self._first_now: float | None = None
+        self._lock = threading.Lock()
+
+    @property
+    def window_seconds(self) -> float:
+        return self.n_slices * self.slice_seconds
+
+    def _now(self, now: float | None) -> float:
+        return self._clock() if now is None else float(now)
+
+    def epoch(self, now: float) -> int:
+        return math.floor(now / self.slice_seconds)
+
+    def _advance(self, epoch: int) -> None:
+        """Update the latest epoch and evict slices that fell out of the
+        window.  Caller holds the lock."""
+        if self._latest_epoch is None or epoch > self._latest_epoch:
+            self._latest_epoch = epoch
+        floor = self._latest_epoch - self.n_slices
+        if any(key <= floor for key in self._slices):
+            self._slices = {
+                key: value for key, value in self._slices.items() if key > floor
+            }
+
+    def _slot(self, epoch: int, factory: Callable[[], Any]) -> Any | None:
+        """The live slice for ``epoch``, or None if it already rotated
+        out of the window.  Caller holds the lock."""
+        self._advance(epoch)
+        assert self._latest_epoch is not None
+        if epoch <= self._latest_epoch - self.n_slices:
+            return None  # an out-of-order observation older than the window
+        slot = self._slices.get(epoch)
+        if slot is None:
+            slot = self._slices[epoch] = factory()
+        return slot
+
+    def _covered_seconds(self, now: float) -> float:
+        """Seconds of real time the live window currently spans.
+
+        A freshly started instrument has not lived a full window yet, so
+        rates divide by elapsed-time-within-window instead of the full
+        window width (otherwise early rates read ~0).
+        """
+        window_floor = (self.epoch(now) - self.n_slices + 1) * self.slice_seconds
+        start = window_floor if self._first_now is None else max(
+            window_floor, self._first_now
+        )
+        return max(now - start, 1e-3)
+
+
+class WindowedHistogram(_SliceRing):
+    """A rolling-window histogram: N rotating log-bucket slices.
+
+    :meth:`merged` folds the live slices into one
+    :class:`~repro.obs.metrics.Histogram` via the order-invariant bucket
+    merge, so :meth:`summary` reports p50/p90/p99 *of the window* with
+    the base instrument's accuracy bound.
+    """
+
+    __slots__ = ("subdiv",)
+
+    def __init__(
+        self,
+        n_slices: int = DEFAULT_SLICES,
+        slice_seconds: float = DEFAULT_SLICE_SECONDS,
+        subdiv: int = DEFAULT_SUBDIV,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        super().__init__(n_slices, slice_seconds, clock)
+        self.subdiv = int(subdiv)
+
+    def observe(self, value: float, now: float | None = None) -> None:
+        now = self._now(now)
+        with self._lock:
+            if self._first_now is None or now < self._first_now:
+                self._first_now = now
+            slot = self._slot(self.epoch(now), lambda: Histogram(self.subdiv))
+            if slot is not None:
+                slot.observe(value)
+
+    def merged(self, now: float | None = None) -> Histogram:
+        """One histogram of everything still inside the window."""
+        now = self._now(now)
+        out = Histogram(self.subdiv)
+        with self._lock:
+            self._advance(self.epoch(now))
+            for slot in self._slices.values():
+                out.merge(slot)
+        return out
+
+    def summary(self, now: float | None = None) -> dict[str, Any]:
+        """Rolling count/sum/min/max/p50/p90/p99 of the live window."""
+        return self.merged(now).summary()
+
+
+class WindowedCounter(_SliceRing):
+    """A rolling-window rate counter: per-slice sums plus a rate view."""
+
+    __slots__ = ()
+
+    def __init__(
+        self,
+        n_slices: int = DEFAULT_SLICES,
+        slice_seconds: float = DEFAULT_SLICE_SECONDS,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        super().__init__(n_slices, slice_seconds, clock)
+
+    def add(self, value: float = 1, now: float | None = None) -> None:
+        now = self._now(now)
+        with self._lock:
+            if self._first_now is None or now < self._first_now:
+                self._first_now = now
+            epoch = self.epoch(now)
+            self._advance(epoch)
+            assert self._latest_epoch is not None
+            if epoch <= self._latest_epoch - self.n_slices:
+                return
+            self._slices[epoch] = self._slices.get(epoch, 0) + value
+
+    def total(self, now: float | None = None) -> float:
+        """Sum of everything recorded inside the live window."""
+        now = self._now(now)
+        with self._lock:
+            self._advance(self.epoch(now))
+            return float(sum(self._slices.values()))
+
+    def rate(self, now: float | None = None) -> float:
+        """Windowed per-second rate (total / seconds the window covers).
+
+        Early in an instrument's life the divisor is the elapsed time
+        since the first recording (clamped to 1 ms), not the full window
+        width, so a service that just started still reports a sane rate.
+        """
+        now = self._now(now)
+        with self._lock:
+            self._advance(self.epoch(now))
+            total = float(sum(self._slices.values()))
+            return total / self._covered_seconds(now)
+
+
+@dataclass(frozen=True)
+class SloRule:
+    """One declarative service-level threshold.
+
+    ``metric`` names a key in the values mapping handed to
+    :meth:`SloMonitor.evaluate` (the serving layer publishes
+    ``p99_latency_s``, ``error_rate`` and ``queue_saturation``);
+    ``op`` is ``"gt"`` (breach when value > threshold) or ``"lt"``.
+    A missing or NaN metric value never breaches — no data is not an
+    outage.
+    """
+
+    name: str
+    metric: str
+    threshold: float
+    op: str = "gt"
+
+    def __post_init__(self) -> None:
+        if self.op not in ("gt", "lt"):
+            raise ValueError(f"op must be 'gt' or 'lt', got {self.op!r}")
+
+    def breached(self, value: float) -> bool:
+        if self.op == "gt":
+            return value > self.threshold
+        return value < self.threshold
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "metric": self.metric,
+            "threshold": self.threshold,
+            "op": self.op,
+        }
+
+
+class SloMonitor:
+    """Evaluates :class:`SloRule` thresholds and tracks alert state.
+
+    Per rule: a ``firing`` flag, a breach counter (evaluations that
+    breached), and a transition counter.  Each firing→resolved or
+    resolved→firing flip appends a bounded alert record and emits a
+    ``slo.firing`` / ``slo.resolved`` event through the
+    :mod:`repro.obs.core` channel (a no-op when no session is active,
+    exactly like every other obs hook).
+    """
+
+    def __init__(self, rules: tuple[SloRule, ...] | list[SloRule] = ()) -> None:
+        names = [rule.name for rule in rules]
+        if len(names) != len(set(names)):
+            raise ValueError("SLO rule names must be unique")
+        self.rules: tuple[SloRule, ...] = tuple(rules)
+        self._lock = threading.Lock()
+        self._state: dict[str, dict[str, Any]] = {
+            rule.name: {"firing": False, "breaches": 0, "transitions": 0}
+            for rule in self.rules
+        }
+        self._alerts: list[dict[str, Any]] = []
+        self._evaluations = 0
+
+    def evaluate(
+        self, values: Mapping[str, float | None], now: float | None = None
+    ) -> list[dict[str, Any]]:
+        """Compare every rule against ``values``; returns new transitions."""
+        if now is None:
+            now = time.time()
+        transitions: list[dict[str, Any]] = []
+        with self._lock:
+            self._evaluations += 1
+            for rule in self.rules:
+                value = values.get(rule.metric)
+                usable = (
+                    value is not None
+                    and isinstance(value, (int, float))
+                    and not math.isnan(value)
+                )
+                breaching = bool(usable and rule.breached(float(value)))
+                state = self._state[rule.name]
+                if breaching:
+                    state["breaches"] += 1
+                if breaching != state["firing"]:
+                    state["firing"] = breaching
+                    state["transitions"] += 1
+                    alert = {
+                        "rule": rule.name,
+                        "metric": rule.metric,
+                        "state": "firing" if breaching else "resolved",
+                        "value": float(value) if usable else None,
+                        "threshold": rule.threshold,
+                        "time": float(now),
+                    }
+                    self._alerts.append(alert)
+                    del self._alerts[:-MAX_ALERT_HISTORY]
+                    transitions.append(alert)
+        for alert in transitions:  # emit outside the lock
+            _core.event(
+                f"slo.{alert['state']}",
+                f"SLO {alert['rule']}: {alert['metric']}="
+                f"{alert['value']} vs threshold {alert['threshold']}",
+                **{k: v for k, v in alert.items() if k != "state"},
+            )
+        return transitions
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-stable view: rules, firing set, breach/transition totals."""
+        with self._lock:
+            return {
+                "rules": [rule.to_payload() for rule in self.rules],
+                "firing": sorted(
+                    name
+                    for name, state in self._state.items()
+                    if state["firing"]
+                ),
+                "breaches": sum(s["breaches"] for s in self._state.values()),
+                "transitions": sum(
+                    s["transitions"] for s in self._state.values()
+                ),
+                "evaluations": self._evaluations,
+                "per_rule": {
+                    name: dict(state) for name, state in self._state.items()
+                },
+                "alerts": [dict(a) for a in self._alerts],
+            }
+
+    @property
+    def firing(self) -> bool:
+        with self._lock:
+            return any(state["firing"] for state in self._state.values())

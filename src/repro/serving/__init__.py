@@ -11,6 +11,12 @@ Three layers, each usable on its own:
   checksum-verified artifact cache.
 * :mod:`~repro.serving.frontend` — :class:`ServingFrontend` runs a
   compiled model behind a bounded queue and a supervised worker pool.
+* :mod:`~repro.serving.telemetry` — :class:`ServingTelemetry` attaches
+  live, windowed observability to a frontend: rolling p50/p90/p99,
+  per-request trace sampling, SLO alerting, snapshot + Prometheus
+  exposition.
+* :mod:`~repro.serving.http_stats` — :class:`StatsServer`, the
+  stdlib-only HTTP endpoint serving ``/stats.json`` and ``/metrics``.
 
 See ``docs/SERVING.md`` for the architecture walkthrough.
 """
@@ -22,22 +28,36 @@ from .compiled import (
     sanitize_transactions,
 )
 from .frontend import ServingClosedError, ServingFrontend
+from .http_stats import StatsServer
 from .registry import (
     MODELS_STAGE,
     ModelNotFoundError,
     ModelRecord,
     ModelRegistry,
 )
+from .telemetry import (
+    SNAPSHOT_SCHEMA,
+    ServingTelemetry,
+    TelemetryConfig,
+    TraceEventLog,
+    render_prometheus,
+)
 
 __all__ = [
     "DEFAULT_CHUNK_ROWS",
     "MODELS_STAGE",
+    "SNAPSHOT_SCHEMA",
     "CompiledModel",
     "ModelNotFoundError",
     "ModelRecord",
     "ModelRegistry",
     "ServingClosedError",
     "ServingFrontend",
+    "ServingTelemetry",
+    "StatsServer",
+    "TelemetryConfig",
+    "TraceEventLog",
     "compile_model",
+    "render_prometheus",
     "sanitize_transactions",
 ]

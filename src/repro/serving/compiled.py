@@ -428,10 +428,22 @@ class CompiledModel:
             scores = _softmax(scores)
         return classes[np.argmax(scores, axis=1)].astype(np.int32)
 
-    def predict(self, transactions: Transactions) -> np.ndarray:
-        """Predicted labels, identical to the source pipeline's predict."""
+    def predict(
+        self, transactions: Transactions, sanitize: bool = True
+    ) -> np.ndarray:
+        """Predicted labels, identical to the source pipeline's predict.
+
+        ``sanitize=False`` skips the ingestion pass for callers that
+        already ran :func:`sanitize_transactions` (the serving frontend
+        does, to attribute the dropped-item count per request).
+        """
         transactions = _as_transaction_list(transactions)
-        sanitized, dropped = sanitize_transactions(transactions, self.n_items)
+        if sanitize:
+            sanitized, dropped = sanitize_transactions(
+                transactions, self.n_items
+            )
+        else:
+            sanitized, dropped = transactions, 0
         with _obs.span(
             "serving.predict", rows=len(sanitized), patterns=self.n_patterns
         ) as predict_span:

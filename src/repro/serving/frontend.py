@@ -17,13 +17,19 @@ Delivery contract, enforced by the stress suite
 * after :meth:`close`, new submissions are rejected but every already
   accepted request is drained before workers stop.
 
-Latency accounting is two-layered: the frontend always records
-queue+execute latency per request into local
-:class:`~repro.obs.metrics.Histogram` instruments (`stats()` reports
-p50/p90/p99), and mirrors observations into the active
-:mod:`repro.obs` session when one is installed — so a traced ``repro
-serve`` run lands the same distributions in the JSONL trace the
-benchmark gate reads.
+Telemetry is three-layered.  Every request carries a monotonic
+``request_id`` and its latency is split at the claim point into
+**queue wait** (time actually spent in the bounded queue — stamped at
+the moment the request lands in the queue, *not* when ``submit`` was
+called, so back-pressure blocking is never mis-charged to queue
+latency) and **execute** (model time).  The frontend always records
+cumulative :class:`~repro.obs.metrics.Histogram` instruments
+(`stats()` reports p50/p90/p99 for total/queue-wait/execute), mirrors
+observations into the active :mod:`repro.obs` session when one is
+installed, and — when a :class:`~repro.serving.telemetry
+.ServingTelemetry` is attached — reports each completed request
+(outcome, row count, dropped unknown items, the latency split) for
+windowed metrics, trace sampling and SLO evaluation.
 """
 
 from __future__ import annotations
@@ -37,9 +43,14 @@ from typing import Any, Sequence
 from ..obs import core as _obs
 from ..obs.metrics import Histogram
 from ..testing.faults import InjectedFault, fault_point
-from .compiled import CompiledModel
+from .compiled import CompiledModel, sanitize_transactions
+from .telemetry import ServingTelemetry
 
 __all__ = ["ServingClosedError", "ServingFrontend"]
+
+#: Re-stamp interval while ``submit`` blocks on a full queue: bounds how
+#: much back-pressure time can leak into a request's queue-wait reading.
+_ENQUEUE_RETRY_S = 0.05
 
 
 class ServingClosedError(RuntimeError):
@@ -47,12 +58,18 @@ class ServingClosedError(RuntimeError):
 
 
 class _Request:
-    __slots__ = ("transactions", "future", "enqueued_at")
+    __slots__ = ("transactions", "future", "request_id", "enqueued_at")
 
-    def __init__(self, transactions: Sequence[Sequence[int]]) -> None:
+    def __init__(
+        self, transactions: Sequence[Sequence[int]], request_id: int
+    ) -> None:
         self.transactions = transactions
         self.future: Future = Future()
-        self.enqueued_at = time.perf_counter()
+        self.request_id = request_id
+        # Stamped by submit() immediately before the successful queue
+        # insert (and re-stamped while blocked on a full queue), so the
+        # reading is queue residence, not client-side back-pressure.
+        self.enqueued_at = 0.0
 
 
 class ServingFrontend:
@@ -67,6 +84,11 @@ class ServingFrontend:
     queue_size:
         Maximum requests buffered; :meth:`submit` blocks once the queue
         is full (bounded-memory back-pressure under burst load).
+    telemetry:
+        Optional :class:`~repro.serving.telemetry.ServingTelemetry` that
+        receives one record per completed request (windowed metrics,
+        trace sampling, SLO evaluation).  ``None`` keeps the frontend
+        exactly as cheap as before.
     """
 
     def __init__(
@@ -74,6 +96,7 @@ class ServingFrontend:
         model: CompiledModel,
         n_workers: int = 2,
         queue_size: int = 64,
+        telemetry: ServingTelemetry | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -81,23 +104,37 @@ class ServingFrontend:
             raise ValueError("queue_size must be >= 1")
         self.model = model
         self.n_workers = int(n_workers)
+        self.queue_size = int(queue_size)
+        self.telemetry = telemetry
         self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
         self._closed = threading.Event()
         self._stopped = threading.Event()
         self._lock = threading.Lock()
         self._workers: list[threading.Thread] = []
         self._next_worker_id = 0
+        self._next_request_id = 0
         self._requests = 0
         self._rows = 0
+        self._errors = 0
+        self._cancelled = 0
+        self._dropped_unknown = 0
         self._worker_deaths = 0
         self._latency = Histogram()
+        self._queue_wait = Histogram()
+        self._execute = Histogram()
         self._batch_rows = Histogram()
+        if telemetry is not None:
+            telemetry.bind_queue(self._queue.qsize, self.queue_size)
         for _ in range(self.n_workers):
             self._spawn_worker()
 
     # ------------------------------------------------------------------
     def _spawn_worker(self) -> None:
         with self._lock:
+            # Prune exited workers (fault-injected deaths leave their
+            # finished threads behind) so the roster cannot grow without
+            # bound over a long uptime of respawns.
+            self._workers = [w for w in self._workers if w.is_alive()]
             worker_id = self._next_worker_id
             self._next_worker_id += 1
             worker = threading.Thread(
@@ -109,6 +146,44 @@ class ServingFrontend:
             self._workers.append(worker)
         worker.start()
 
+    def _finish_request(
+        self,
+        request: _Request,
+        rows: int,
+        queue_wait: float,
+        execute: float,
+        dropped: int,
+        outcome: str,
+        error: str | None = None,
+    ) -> None:
+        """Shared accounting for every completed (ok/error) request."""
+        latency = queue_wait + execute
+        with self._lock:
+            self._requests += 1
+            self._rows += rows
+            self._dropped_unknown += dropped
+            if outcome == "error":
+                self._errors += 1
+            self._latency.observe(latency)
+            self._queue_wait.observe(queue_wait)
+            self._execute.observe(execute)
+            self._batch_rows.observe(rows)
+        _obs.observe("serving.request_latency_s", latency)
+        _obs.observe("serving.queue_wait_s", queue_wait)
+        _obs.observe("serving.execute_s", execute)
+        _obs.observe("serving.batch_rows", rows)
+        _obs.add("serving.requests_served")
+        if self.telemetry is not None:
+            self.telemetry.record_request(
+                request_id=request.request_id,
+                rows=rows,
+                queue_wait_s=queue_wait,
+                execute_s=execute,
+                dropped_unknown=dropped,
+                outcome=outcome,
+                error=error,
+            )
+
     def _worker_loop(self, worker_id: int) -> None:
         while True:
             try:
@@ -117,6 +192,8 @@ class ServingFrontend:
                 if self._stopped.is_set():
                     return
                 continue
+            claimed_at = time.perf_counter()
+            queue_wait = max(claimed_at - request.enqueued_at, 0.0)
             try:
                 # The staged-death seam: an injected fault here models a
                 # worker dying *after* it claimed a request but before it
@@ -124,12 +201,17 @@ class ServingFrontend:
                 # no-drop/no-duplicate contract.  The point name is
                 # constant (not the worker id) so a fault plan's `times`
                 # bounds deaths globally — replacement workers share the
-                # budget instead of resetting it.
+                # budget instead of resetting it.  A `sleep` fault at the
+                # same point models a slow worker: its delay lands in the
+                # execute reading (the worker held the request), which is
+                # what the SLO latency tests lean on.
                 fault_point("serve_worker", "claim")
             except InjectedFault:
                 with self._lock:
                     self._worker_deaths += 1
                 _obs.add("serving.worker_deaths")
+                if self.telemetry is not None:
+                    self.telemetry.record_worker_death()
                 # Replacement FIRST: with the queue full, the re-enqueue
                 # below blocks until a consumer takes an item — if every
                 # worker died holding a request, no consumer would exist
@@ -138,22 +220,37 @@ class ServingFrontend:
                 self._queue.put(request)  # hand the claimed request back
                 self._queue.task_done()  # ...and close out our claim
                 return
+            rows = len(request.transactions)
+            dropped = 0
             try:
-                result = self.model.predict(request.transactions)
+                sanitized, dropped = sanitize_transactions(
+                    request.transactions, self.model.n_items
+                )
+                result = self.model.predict(sanitized, sanitize=False)
                 request.future.set_result(result)
             except BaseException as exc:  # a request error is a result
                 request.future.set_exception(exc)
+                self._finish_request(
+                    request,
+                    rows,
+                    queue_wait,
+                    time.perf_counter() - claimed_at,
+                    dropped,
+                    "error",
+                    error=type(exc).__name__,
+                )
+            else:
+                if dropped:
+                    _obs.add("serving.unknown_items_dropped", dropped)
+                self._finish_request(
+                    request,
+                    rows,
+                    queue_wait,
+                    time.perf_counter() - claimed_at,
+                    dropped,
+                    "ok",
+                )
             finally:
-                latency = time.perf_counter() - request.enqueued_at
-                rows = len(request.transactions)
-                with self._lock:
-                    self._requests += 1
-                    self._rows += rows
-                    self._latency.observe(latency)
-                    self._batch_rows.observe(rows)
-                _obs.observe("serving.request_latency_s", latency)
-                _obs.observe("serving.batch_rows", rows)
-                _obs.add("serving.requests_served")
                 self._queue.task_done()
 
     # ------------------------------------------------------------------
@@ -165,8 +262,22 @@ class ServingFrontend:
         """
         if self._closed.is_set():
             raise ServingClosedError("frontend is closed to new requests")
-        request = _Request(transactions)
-        self._queue.put(request)
+        with self._lock:
+            request_id = self._next_request_id
+            self._next_request_id += 1
+        request = _Request(transactions, request_id)
+        # Queue-wait starts when the request actually enters the queue.
+        # A blocking put on a full queue would otherwise charge the
+        # whole back-pressure stall to queue latency, so re-stamp on
+        # every bounded retry: at most _ENQUEUE_RETRY_S of pre-insert
+        # time can leak into the reading.
+        while True:
+            request.enqueued_at = time.perf_counter()
+            try:
+                self._queue.put(request, timeout=_ENQUEUE_RETRY_S)
+                break
+            except queue.Full:
+                continue
         return request.future
 
     def predict(self, transactions: Sequence[Sequence[int]]) -> Any:
@@ -191,12 +302,28 @@ class ServingFrontend:
                 request.future.set_exception(
                     ServingClosedError("frontend closed before execution")
                 )
+                with self._lock:
+                    self._cancelled += 1
+                if self.telemetry is not None:
+                    self.telemetry.record_request(
+                        request_id=request.request_id,
+                        rows=len(request.transactions),
+                        queue_wait_s=max(
+                            time.perf_counter() - request.enqueued_at, 0.0
+                        ),
+                        execute_s=0.0,
+                        outcome="cancelled",
+                    )
                 self._queue.task_done()
         self._stopped.set()
         with self._lock:
             workers = list(self._workers)
         for worker in workers:
             worker.join()
+        with self._lock:
+            # Everything has exited; drop the roster so the dead-thread
+            # objects (and their frames) are collectable.
+            self._workers = [w for w in self._workers if w.is_alive()]
 
     def __enter__(self) -> "ServingFrontend":
         return self
@@ -210,13 +337,25 @@ class ServingFrontend:
         return self._closed.is_set()
 
     def stats(self) -> dict[str, Any]:
-        """Serving counters and latency/batch-size rollups (p50/p90/p99)."""
+        """Serving counters and latency/batch-size rollups (p50/p90/p99).
+
+        Keys are stable — ``tests/test_cli_serving.py`` pins the set —
+        because the ``repro serve --json`` output and the HTTP snapshot
+        both build on this dict.
+        """
         with self._lock:
             return {
                 "requests": self._requests,
                 "rows": self._rows,
+                "errors": self._errors,
+                "cancelled": self._cancelled,
+                "dropped_unknown_items": self._dropped_unknown,
                 "worker_deaths": self._worker_deaths,
                 "n_workers": self.n_workers,
+                "queue_capacity": self.queue_size,
+                "queue_depth": self._queue.qsize(),
                 "latency_s": self._latency.summary(),
+                "queue_wait_s": self._queue_wait.summary(),
+                "execute_s": self._execute.summary(),
                 "batch_rows": self._batch_rows.summary(),
             }

@@ -1,0 +1,135 @@
+"""A stdlib-only HTTP stats endpoint for the serving frontend.
+
+:class:`StatsServer` wraps :class:`http.server.ThreadingHTTPServer` on a
+background thread and exposes one :class:`~repro.serving.telemetry
+.ServingTelemetry` (or any snapshot-producing callable) on three paths:
+
+``/stats.json``
+    The full :meth:`~repro.serving.telemetry.ServingTelemetry.snapshot`
+    as JSON (sorted keys — stable for diffing and tests).
+``/metrics``
+    The same data rendered as Prometheus-style text
+    (:func:`~repro.serving.telemetry.render_prometheus`).
+``/healthz``
+    ``ok`` — liveness only; it does not take the telemetry locks.
+
+Binding to port 0 picks an ephemeral port, published via :attr:`port` /
+:attr:`url` after :meth:`start` — what the tests and the CI scrape step
+use.  This is deliberately *not* the prediction transport (requests
+still flow through :meth:`ServingFrontend.submit`); it is the first,
+read-only step toward a real network transport: the listener/handler
+plumbing a future prediction endpoint would reuse.
+
+Only the standard library is used; a snapshot under concurrent load is
+safe because every telemetry read path takes its own locks.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Mapping
+
+from .telemetry import ServingTelemetry, render_prometheus
+
+__all__ = ["StatsServer"]
+
+
+class StatsServer:
+    """Serve telemetry snapshots over HTTP from a background thread."""
+
+    def __init__(
+        self,
+        telemetry: ServingTelemetry | Callable[[], Mapping[str, Any]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        if isinstance(telemetry, ServingTelemetry):
+            self._snapshot: Callable[[], Mapping[str, Any]] = telemetry.snapshot
+        else:
+            self._snapshot = telemetry
+        self.host = host
+        self._requested_port = int(port)
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "StatsServer":
+        if self._server is not None:
+            raise RuntimeError("StatsServer is already running")
+        snapshot_fn = self._snapshot
+
+        class _Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args: Any) -> None:  # silence stderr
+                pass
+
+            def _send(
+                self, status: int, content_type: str, body: bytes
+            ) -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                path = self.path.split("?", 1)[0]
+                if path == "/healthz":
+                    self._send(200, "text/plain; charset=utf-8", b"ok\n")
+                    return
+                if path in ("/", "/stats.json"):
+                    body = json.dumps(
+                        snapshot_fn(), sort_keys=True, default=str
+                    ).encode("utf-8")
+                    self._send(200, "application/json", body)
+                    return
+                if path == "/metrics":
+                    body = render_prometheus(snapshot_fn()).encode("utf-8")
+                    self._send(
+                        200, "text/plain; version=0.0.4; charset=utf-8", body
+                    )
+                    return
+                self._send(404, "text/plain; charset=utf-8", b"not found\n")
+
+        self._server = ThreadingHTTPServer(
+            (self.host, self._requested_port), _Handler
+        )
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="serving-stats-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self._server = None
+        self._thread = None
+
+    def __enter__(self) -> "StatsServer":
+        if self._server is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- address -------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (resolves port 0 to the ephemeral choice)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"

@@ -1,0 +1,483 @@
+"""Live serving telemetry: windowed metrics, request traces, SLO alerts.
+
+:class:`ServingTelemetry` is the observability sidecar of a
+:class:`~repro.serving.frontend.ServingFrontend`.  The frontend's own
+histograms are cumulative-since-start (right for ``repro serve``'s exit
+summary); this object answers the operational questions — *what is p99
+right now*, *did the error rate move in the last minute* — for a
+long-running process:
+
+* **windowed instruments** (:mod:`repro.obs.live`): rolling-window
+  latency / queue-wait / execute / batch-size histograms plus
+  requests/rows/errors rate counters, all sliced into N rotating
+  epochs so old traffic ages out;
+* **per-request tracing**: the frontend reports every completed request
+  (monotonic ``request_id``, queue-wait vs execute split, row count,
+  dropped-unknown-item count, outcome ok/error/cancelled).  A
+  deterministic 1-in-``sample_every`` sample (``request_id %
+  sample_every == 0``) is kept in a bounded in-memory ring and
+  optionally appended to a :class:`TraceEventLog` — a JSONL sink whose
+  record shape is trace-schema-v2 compatible, so ``repro report`` can
+  read a serving event log like any other trace;
+* **SLO monitoring**: declarative :class:`~repro.obs.live.SloRule`
+  thresholds over the windowed values (``p99_latency_s``,
+  ``error_rate``, ``queue_saturation``, ``requests_per_s``), evaluated
+  once per window rotation with firing/resolved transitions and breach
+  counters surfaced in the snapshot;
+* **exposition**: :meth:`snapshot` returns a plain, JSON-stable dict,
+  and :func:`render_prometheus` renders the same data as
+  Prometheus-style text — the two bodies the
+  :mod:`~repro.serving.http_stats` endpoint serves.
+
+Everything takes an injectable ``clock`` so rotation, eviction and SLO
+transitions are deterministic under test.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from ..obs.live import (
+    DEFAULT_SLICE_SECONDS,
+    DEFAULT_SLICES,
+    SloMonitor,
+    SloRule,
+    WindowedCounter,
+    WindowedHistogram,
+)
+from ..obs.manifest import build_manifest
+from ..obs.schema import SCHEMA_VERSION
+
+__all__ = [
+    "SNAPSHOT_SCHEMA",
+    "ServingTelemetry",
+    "TelemetryConfig",
+    "TraceEventLog",
+    "render_prometheus",
+]
+
+#: Identifier stamped on every snapshot so consumers can detect drift.
+SNAPSHOT_SCHEMA = "repro.serving.telemetry/v1"
+
+#: Metric names a telemetry instance publishes to its SLO monitor.
+SLO_METRICS = (
+    "p99_latency_s",
+    "error_rate",
+    "queue_saturation",
+    "requests_per_s",
+)
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Window geometry, sampling, and SLO rules for one telemetry unit."""
+
+    n_slices: int = DEFAULT_SLICES
+    slice_seconds: float = DEFAULT_SLICE_SECONDS
+    sample_every: int = 16
+    ring_size: int = 256
+    slos: tuple[SloRule, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        if self.ring_size < 1:
+            raise ValueError("ring_size must be >= 1")
+
+
+class TraceEventLog:
+    """A streaming JSONL sink of serving request events.
+
+    The file it produces is a *valid schema-v2 trace*: one manifest
+    line, then one ``event`` line per appended record, then one rollup
+    line on :meth:`close` — so ``repro report`` renders a serving event
+    log and ``repro.obs.validate_file`` accepts it.  Lines are flushed
+    as written; a crash loses only the rollup, not the events.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        command: str = "serve",
+        config: Mapping[str, Any] | None = None,
+    ) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._events = 0
+        self._closed = False
+        head = build_manifest(command=command, config=dict(config or {}))
+        head["schema_version"] = SCHEMA_VERSION
+        self._handle = self.path.open("w", encoding="utf-8")
+        self._write(head)
+
+    def _write(self, obj: dict[str, Any]) -> None:
+        self._handle.write(json.dumps(obj, sort_keys=True, default=str))
+        self._handle.write("\n")
+        self._handle.flush()
+
+    def append_event(
+        self, kind: str, message: str, attrs: Mapping[str, Any]
+    ) -> None:
+        line = {
+            "type": "event",
+            "kind": kind,
+            "message": message,
+            "time_unix": time.time(),
+            "pid": os.getpid(),
+            "attrs": dict(attrs),
+        }
+        with self._lock:
+            if self._closed:
+                return
+            self._events += 1
+            self._write(line)
+
+    def close(
+        self,
+        counters: Mapping[str, int | float] | None = None,
+        histograms: Mapping[str, Mapping[str, Any]] | None = None,
+    ) -> None:
+        """Finalize the file with the schema-required rollup line."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._write(
+                {
+                    "type": "rollup",
+                    "phases": {},
+                    "counters": dict(counters or {}),
+                    "histograms": {
+                        name: dict(summary)
+                        for name, summary in (histograms or {}).items()
+                    },
+                    "n_spans": 0,
+                    "n_events": self._events,
+                }
+            )
+            self._handle.close()
+
+
+class ServingTelemetry:
+    """Aggregates live serving signals; safe for concurrent recording."""
+
+    def __init__(
+        self,
+        config: TelemetryConfig | None = None,
+        event_log: TraceEventLog | None = None,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        self.config = config or TelemetryConfig()
+        self._clock = clock if clock is not None else time.monotonic
+        geometry = dict(
+            n_slices=self.config.n_slices,
+            slice_seconds=self.config.slice_seconds,
+            clock=self._clock,
+        )
+        self.latency = WindowedHistogram(**geometry)
+        self.queue_wait = WindowedHistogram(**geometry)
+        self.execute = WindowedHistogram(**geometry)
+        self.batch_rows = WindowedHistogram(**geometry)
+        self.requests = WindowedCounter(**geometry)
+        self.rows = WindowedCounter(**geometry)
+        self.errors = WindowedCounter(**geometry)
+        self.slo = SloMonitor(self.config.slos)
+        self.event_log = event_log
+        self._lock = threading.Lock()
+        self._cumulative: dict[str, int] = {
+            "requests": 0,
+            "rows": 0,
+            "errors": 0,
+            "cancelled": 0,
+            "dropped_unknown_items": 0,
+            "worker_deaths": 0,
+            "sampled_traces": 0,
+        }
+        self._ring: list[dict[str, Any]] = []
+        self._last_eval_epoch: int | None = None
+        self._queue_depth_fn: Callable[[], int] | None = None
+        self._queue_capacity: int | None = None
+        self._started_unix = time.time()
+        self._started = self._clock()
+
+    # -- wiring --------------------------------------------------------
+    def bind_queue(self, depth_fn: Callable[[], int], capacity: int) -> None:
+        """Attach the frontend's queue so the snapshot can report depth
+        and saturation (the frontend calls this on construction)."""
+        self._queue_depth_fn = depth_fn
+        self._queue_capacity = int(capacity)
+
+    # -- recording -----------------------------------------------------
+    def record_request(
+        self,
+        request_id: int,
+        rows: int,
+        queue_wait_s: float,
+        execute_s: float,
+        dropped_unknown: int = 0,
+        outcome: str = "ok",
+        error: str | None = None,
+        now: float | None = None,
+    ) -> None:
+        """One completed request, reported by the frontend worker."""
+        now = self._clock() if now is None else float(now)
+        latency_s = queue_wait_s + execute_s
+        sampled = request_id % self.config.sample_every == 0
+        record: dict[str, Any] = {
+            "request_id": int(request_id),
+            "rows": int(rows),
+            "queue_wait_s": float(queue_wait_s),
+            "execute_s": float(execute_s),
+            "latency_s": float(latency_s),
+            "dropped_unknown_items": int(dropped_unknown),
+            "outcome": outcome,
+        }
+        if error is not None:
+            record["error"] = error
+        with self._lock:
+            self._cumulative["requests"] += 1
+            self._cumulative["rows"] += rows
+            self._cumulative["dropped_unknown_items"] += dropped_unknown
+            if outcome == "error":
+                self._cumulative["errors"] += 1
+            elif outcome == "cancelled":
+                self._cumulative["cancelled"] += 1
+            if sampled:
+                self._cumulative["sampled_traces"] += 1
+                self._ring.append(record)
+                del self._ring[: -self.config.ring_size]
+        self.requests.add(1, now)
+        self.rows.add(rows, now)
+        if outcome == "error":
+            self.errors.add(1, now)
+        if outcome != "cancelled":
+            self.latency.observe(latency_s, now)
+            self.queue_wait.observe(queue_wait_s, now)
+            self.execute.observe(execute_s, now)
+            self.batch_rows.observe(rows, now)
+        if sampled and self.event_log is not None:
+            self.event_log.append_event(
+                "serving.request",
+                f"request {request_id} {outcome} "
+                f"({rows} rows, {1e3 * latency_s:.2f} ms)",
+                record,
+            )
+        self.maybe_evaluate(now)
+
+    def record_worker_death(self, now: float | None = None) -> None:
+        with self._lock:
+            self._cumulative["worker_deaths"] += 1
+        if self.event_log is not None:
+            self.event_log.append_event(
+                "serving.worker_death", "worker died and was respawned", {}
+            )
+
+    # -- SLO evaluation ------------------------------------------------
+    def slo_values(self, now: float | None = None) -> dict[str, float | None]:
+        """The live metric values the SLO rules are evaluated against."""
+        now = self._clock() if now is None else float(now)
+        latency = self.latency.summary(now)
+        window_requests = self.requests.total(now)
+        window_errors = self.errors.total(now)
+        error_rate = (
+            window_errors / window_requests if window_requests > 0 else None
+        )
+        saturation: float | None = None
+        if self._queue_depth_fn is not None and self._queue_capacity:
+            saturation = self._queue_depth_fn() / self._queue_capacity
+        return {
+            "p99_latency_s": latency.get("p99"),
+            "error_rate": error_rate,
+            "queue_saturation": saturation,
+            "requests_per_s": self.requests.rate(now),
+        }
+
+    def maybe_evaluate(self, now: float | None = None) -> list[dict[str, Any]]:
+        """Evaluate the SLO rules once per window-slice rotation.
+
+        Called from every :meth:`record_request` and from
+        :meth:`snapshot`; only the call that first observes a new slice
+        epoch pays for an evaluation, so per-request cost stays at one
+        integer compare.
+        """
+        if not self.slo.rules:
+            return []
+        now = self._clock() if now is None else float(now)
+        epoch = int(now // self.config.slice_seconds)
+        with self._lock:
+            if self._last_eval_epoch is None:
+                self._last_eval_epoch = epoch
+                return []
+            if epoch <= self._last_eval_epoch:
+                return []
+            self._last_eval_epoch = epoch
+        transitions = self.slo.evaluate(self.slo_values(now), time.time())
+        if self.event_log is not None:
+            for alert in transitions:
+                self.event_log.append_event(
+                    f"slo.{alert['state']}",
+                    f"SLO {alert['rule']}: {alert['metric']}="
+                    f"{alert['value']} vs threshold {alert['threshold']}",
+                    alert,
+                )
+        return transitions
+
+    # -- exposition ----------------------------------------------------
+    def snapshot(self, now: float | None = None) -> dict[str, Any]:
+        """Everything a scraper needs, as one JSON-stable plain dict."""
+        now = self._clock() if now is None else float(now)
+        self.maybe_evaluate(now)
+        with self._lock:
+            cumulative = dict(self._cumulative)
+            samples = [dict(r) for r in self._ring]
+        window_requests = self.requests.total(now)
+        window_errors = self.errors.total(now)
+        queue: dict[str, Any] = {"depth": None, "capacity": None, "saturation": None}
+        if self._queue_depth_fn is not None and self._queue_capacity:
+            depth = self._queue_depth_fn()
+            queue = {
+                "depth": depth,
+                "capacity": self._queue_capacity,
+                "saturation": depth / self._queue_capacity,
+            }
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "time_unix": time.time(),
+            "uptime_s": max(now - self._started, 0.0),
+            "window": {
+                "n_slices": self.config.n_slices,
+                "slice_seconds": self.config.slice_seconds,
+                "seconds": self.config.n_slices * self.config.slice_seconds,
+                "sample_every": self.config.sample_every,
+            },
+            "cumulative": cumulative,
+            "windowed": {
+                "requests": window_requests,
+                "rows": self.rows.total(now),
+                "errors": window_errors,
+                "requests_per_s": self.requests.rate(now),
+                "rows_per_s": self.rows.rate(now),
+                "errors_per_s": self.errors.rate(now),
+                "error_rate": (
+                    window_errors / window_requests
+                    if window_requests > 0
+                    else 0.0
+                ),
+                "latency_s": self.latency.summary(now),
+                "queue_wait_s": self.queue_wait.summary(now),
+                "execute_s": self.execute.summary(now),
+                "batch_rows": self.batch_rows.summary(now),
+            },
+            "queue": queue,
+            "slo": self.slo.snapshot(),
+            "samples": samples,
+        }
+
+    def close(self) -> None:
+        """Finalize the event log (writes the trace rollup line)."""
+        if self.event_log is not None:
+            with self._lock:
+                counters = {
+                    f"serving.{name}": value
+                    for name, value in self._cumulative.items()
+                }
+            self.event_log.close(counters=counters)
+
+
+# ---------------------------------------------------------------------
+# Prometheus-style text exposition
+# ---------------------------------------------------------------------
+_PROM_PREFIX = "repro_serving"
+
+#: (snapshot section, key, metric suffix, TYPE) for the scalar metrics.
+_PROM_SCALARS = (
+    ("cumulative", "requests", "requests_total", "counter"),
+    ("cumulative", "rows", "rows_total", "counter"),
+    ("cumulative", "errors", "errors_total", "counter"),
+    ("cumulative", "cancelled", "cancelled_total", "counter"),
+    (
+        "cumulative",
+        "dropped_unknown_items",
+        "dropped_unknown_items_total",
+        "counter",
+    ),
+    ("cumulative", "worker_deaths", "worker_deaths_total", "counter"),
+    ("windowed", "requests_per_s", "window_requests_per_second", "gauge"),
+    ("windowed", "rows_per_s", "window_rows_per_second", "gauge"),
+    ("windowed", "errors_per_s", "window_errors_per_second", "gauge"),
+    ("windowed", "error_rate", "window_error_rate", "gauge"),
+    ("queue", "depth", "queue_depth", "gauge"),
+    ("queue", "capacity", "queue_capacity", "gauge"),
+    ("queue", "saturation", "queue_saturation", "gauge"),
+)
+
+#: (windowed histogram key, metric base name) for quantile summaries.
+_PROM_SUMMARIES = (
+    ("latency_s", "request_latency_seconds"),
+    ("queue_wait_s", "queue_wait_seconds"),
+    ("execute_s", "execute_seconds"),
+    ("batch_rows", "batch_rows"),
+)
+
+
+def _fmt_value(value: Any) -> str:
+    if isinstance(value, bool):  # bool is an int; reject explicitly
+        raise TypeError("boolean metric value")
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: Mapping[str, Any]) -> str:
+    """Render a :meth:`ServingTelemetry.snapshot` as Prometheus text.
+
+    Window-scoped quantiles use the summary convention
+    (``{quantile="0.5"}`` labels plus ``_count``/``_sum``); ``None``
+    values (no data yet) simply omit their line.
+    """
+    lines: list[str] = []
+
+    def emit(name: str, value: Any, kind: str, labels: str = "") -> None:
+        if value is None:
+            return
+        full = f"{_PROM_PREFIX}_{name}"
+        type_line = f"# TYPE {full} {kind}"
+        if type_line not in lines:
+            lines.append(type_line)
+        lines.append(f"{full}{labels} {_fmt_value(value)}")
+
+    for section, key, suffix, kind in _PROM_SCALARS:
+        emit(suffix, snapshot.get(section, {}).get(key), kind)
+
+    windowed = snapshot.get("windowed", {})
+    for key, base in _PROM_SUMMARIES:
+        summary = windowed.get(key) or {}
+        for label, quantile in (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99")):
+            emit(
+                base,
+                summary.get(quantile),
+                "summary",
+                labels=f'{{quantile="{label}"}}',
+            )
+        emit(f"{base}_count", summary.get("count", 0), "counter")
+        emit(f"{base}_sum", summary.get("sum", 0.0), "counter")
+
+    slo = snapshot.get("slo", {})
+    if slo.get("rules"):
+        emit("slo_breaches_total", slo.get("breaches", 0), "counter")
+        emit("slo_transitions_total", slo.get("transitions", 0), "counter")
+        firing = set(slo.get("firing", ()))
+        for rule in slo.get("rules", ()):
+            emit(
+                "slo_firing",
+                1 if rule["name"] in firing else 0,
+                "gauge",
+                labels=f'{{rule="{rule["name"]}"}}',
+            )
+    return "\n".join(lines) + "\n"

@@ -123,6 +123,28 @@ class TestServeCommand:
         assert "served 60 rows" in out
         assert "p50=" in out and "p99=" in out
 
+    # The machine-readable contract of `repro serve --json`: scripts and
+    # the CI scrape step key into these, so the set is pinned exactly.
+    SERVE_JSON_KEYS = [
+        "batch_rows",
+        "cancelled",
+        "dropped_unknown_items",
+        "errors",
+        "execute_s",
+        "latency_s",
+        "model_id",
+        "n_workers",
+        "queue_capacity",
+        "queue_depth",
+        "queue_wait_s",
+        "requests",
+        "rows",
+        "rows_per_s",
+        "wall_s",
+        "workload_rounds",
+        "worker_deaths",
+    ]
+
     def test_serve_json_stats_match_workload(self, published, capsys):
         registry_dir, record, workload, expected = published
         code = main([
@@ -132,11 +154,176 @@ class TestServeCommand:
         ])
         assert code == 0
         stats = json.loads(capsys.readouterr().out)
+        assert sorted(stats) == sorted(self.SERVE_JSON_KEYS)
         assert stats["model_id"] == record.model_id
         assert stats["rows"] == len(expected)
         assert stats["requests"] == int(np.ceil(len(expected) / 7))
         assert stats["worker_deaths"] == 0
+        assert stats["errors"] == 0
+        assert stats["cancelled"] == 0
+        assert stats["dropped_unknown_items"] == 0
+        assert stats["workload_rounds"] == 1
         assert stats["rows_per_s"] > 0
         assert stats["latency_s"]["count"] == stats["requests"]
+        assert stats["queue_wait_s"]["count"] == stats["requests"]
+        assert stats["execute_s"]["count"] == stats["requests"]
         for quantile in ("p50", "p90", "p99"):
             assert stats["latency_s"][quantile] >= 0
+
+    def test_serve_json_surfaces_dropped_unknown_items(
+        self, published, tmp_path, capsys
+    ):
+        # Out-of-vocabulary item ids are dropped by sanitization; the
+        # count must surface in the serve stats, not vanish.
+        registry_dir, _, workload, _ = published
+        rows = json.loads(workload.read_text())
+        rows[0] = rows[0] + [10**6, 10**6 + 1]
+        dirty = tmp_path / "dirty.json"
+        dirty.write_text(json.dumps(rows), encoding="utf-8")
+        code = main([
+            "serve", "cli-model",
+            "--registry", str(registry_dir), "--input", str(dirty),
+            "--batch-rows", "16", "--json",
+        ])
+        assert code == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["dropped_unknown_items"] == 2
+        assert stats["errors"] == 0
+
+    def test_serve_repeat_multiplies_workload(self, published, capsys):
+        registry_dir, _, workload, expected = published
+        code = main([
+            "serve", "cli-model",
+            "--registry", str(registry_dir), "--input", str(workload),
+            "--batch-rows", "30", "--repeat", "3", "--json",
+        ])
+        assert code == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["workload_rounds"] == 3
+        assert stats["rows"] == 3 * len(expected)
+
+
+class TestServeTelemetry:
+    def test_serve_with_telemetry_embeds_snapshot(self, published, capsys):
+        registry_dir, _, workload, expected = published
+        code = main([
+            "serve", "cli-model",
+            "--registry", str(registry_dir), "--input", str(workload),
+            "--batch-rows", "10", "--telemetry", "--json",
+            "--slo-p99-ms", "60000",
+        ])
+        assert code == 0
+        stats = json.loads(capsys.readouterr().out)
+        telemetry = stats["telemetry"]
+        assert telemetry["schema"] == "repro.serving.telemetry/v1"
+        assert telemetry["cumulative"]["requests"] == stats["requests"]
+        assert telemetry["cumulative"]["rows"] == stats["rows"]
+        assert telemetry["queue"]["capacity"] == stats["queue_capacity"]
+        assert [r["name"] for r in telemetry["slo"]["rules"]] == ["p99_latency"]
+
+    def test_serve_trace_events_writes_valid_trace(
+        self, published, tmp_path, capsys
+    ):
+        from repro.obs import load_trace, validate_file
+
+        registry_dir, _, workload, _ = published
+        events_file = tmp_path / "serving-events.jsonl"
+        code = main([
+            "serve", "cli-model",
+            "--registry", str(registry_dir), "--input", str(workload),
+            "--batch-rows", "6", "--sample-every", "1",
+            "--trace-events", str(events_file), "--json",
+        ])
+        assert code == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert validate_file(events_file) == []
+        trace = load_trace(events_file)
+        request_events = [
+            e for e in trace.events if e["kind"] == "serving.request"
+        ]
+        assert len(request_events) == stats["requests"]
+        assert trace.rollup["counters"]["serving.requests"] == stats["requests"]
+
+    def test_serve_metrics_port_serves_scrapes(self, published, capsys):
+        import threading
+        import urllib.request
+
+        from repro.cli import build_parser, _cmd_serve
+
+        registry_dir, _, workload, _ = published
+        parser = build_parser()
+        args = parser.parse_args([
+            "serve", "cli-model",
+            "--registry", str(registry_dir), "--input", str(workload),
+            "--batch-rows", "8", "--metrics-port", "0",
+            "--min-seconds", "0.8", "--json",
+        ])
+
+        # Run serve on a thread; scrape the ephemeral endpoint mid-run.
+        # The port is announced on stderr as "metrics endpoint at URL".
+        status: list[int] = []
+        runner = threading.Thread(target=lambda: status.append(_cmd_serve(args)))
+        runner.start()
+        url = None
+        deadline = threading.Event()
+        for _ in range(100):
+            err = capsys.readouterr().err
+            for line in err.splitlines():
+                if line.startswith("metrics endpoint at "):
+                    url = line.split()[-1]
+            if url:
+                break
+            deadline.wait(0.05)
+        assert url, "serve never announced its metrics endpoint"
+        with urllib.request.urlopen(url + "/stats.json", timeout=10) as resp:
+            snapshot = json.loads(resp.read().decode("utf-8"))
+        assert snapshot["schema"] == "repro.serving.telemetry/v1"
+        with urllib.request.urlopen(url + "/metrics", timeout=10) as resp:
+            prom = resp.read().decode("utf-8")
+        assert "repro_serving_requests_total" in prom
+        runner.join(timeout=60)
+        assert status == [0]
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["telemetry"]["cumulative"]["requests"] == stats["requests"]
+
+
+class TestMonitorCommand:
+    def test_monitor_polls_endpoint(self, capsys):
+        from repro.serving import ServingTelemetry, StatsServer, TelemetryConfig
+
+        telemetry = ServingTelemetry(TelemetryConfig(slice_seconds=0.5))
+        for i in range(5):
+            telemetry.record_request(
+                request_id=i, rows=2, queue_wait_s=0.001, execute_s=0.01
+            )
+        with StatsServer(telemetry) as server:
+            code = main([
+                "monitor", "--port", str(server.port),
+                "--interval", "0.05", "--iterations", "3",
+            ])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            assert "req/s" in line and "p99" in line and "slo ok" in line
+
+    def test_monitor_json_mode(self, capsys):
+        from repro.serving import ServingTelemetry, StatsServer, TelemetryConfig
+
+        telemetry = ServingTelemetry(TelemetryConfig())
+        with StatsServer(telemetry) as server:
+            code = main([
+                "monitor", "--port", str(server.port),
+                "--iterations", "1", "--json",
+            ])
+        assert code == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["schema"] == "repro.serving.telemetry/v1"
+
+    def test_monitor_unreachable_endpoint_exits_3(self, capsys):
+        code = main([
+            "monitor", "--port", "1", "--iterations", "1",
+            "--timeout", "0.5",
+        ])
+        assert code == 3
+        assert "cannot scrape" in capsys.readouterr().err

@@ -92,6 +92,39 @@ class TestHistogramBasics:
         assert clone.count == 0
         assert math.isnan(clone.quantile(0.5))
 
+    def test_merge_with_empty_is_identity(self):
+        # Both directions: empty.merge(full) == full, full.merge(empty)
+        # is a no-op.  The windowed rollup leans on this — freshly
+        # rotated-in slices are empty histograms.
+        values = [0.0, 0.004, 3.5, 120.0]
+        full = Histogram()
+        full.observe_many(values)
+        reference = full.copy()
+
+        full.merge(Histogram())
+        assert full.counts == reference.counts
+        assert full.summary() == reference.summary()
+
+        absorber = Histogram()
+        absorber.merge(reference)
+        assert absorber.counts == reference.counts
+        assert absorber.zeros == reference.zeros
+        assert absorber.summary() == reference.summary()
+
+    def test_zero_bucket_only_payload_round_trip(self):
+        # zeros > 0 with no log buckets at all: the payload has an empty
+        # counts map and must still round-trip count/min/max/quantiles.
+        hist = Histogram()
+        hist.observe_many([0.0, 0.0, -1.5])
+        assert hist.counts == {}
+        clone = Histogram.from_payload(hist.to_payload())
+        assert clone.counts == {}
+        assert clone.zeros == 3
+        assert clone.count == 3
+        assert clone.min == -1.5
+        assert clone.quantile(0.5) == 0.0
+        assert clone.summary() == hist.summary()
+
 
 values_strategy = st.lists(
     st.floats(

@@ -171,3 +171,91 @@ class TestLifecycle:
                 future.result(timeout=30)
         # the frontend survives a poisoned request
         assert frontend.stats()["requests"] == 1
+        assert frontend.stats()["errors"] == 1
+
+
+class TestWorkerRoster:
+    def test_dead_workers_are_pruned_from_roster(self, compiled, tmp_path):
+        # Each injected death leaves a finished thread behind; respawns
+        # must prune them so the roster stays bounded over a long uptime
+        # instead of accumulating one dead Thread object per death.
+        deaths = 6
+        faults = [
+            Fault(point="serve_worker:claim", action="raise", times=deaths)
+        ]
+        batch = [(0, 1), (2,)]
+        with injected_faults(faults, tmp_path / "fault-state"):
+            with ServingFrontend(compiled, n_workers=2, queue_size=4) as frontend:
+                for _ in range(30):
+                    frontend.predict(batch)
+                with frontend._lock:
+                    roster = list(frontend._workers)
+                # Live workers plus at most the replacements spawned for
+                # deaths whose dying thread hasn't fully exited yet.
+                assert len(roster) <= frontend.n_workers + deaths
+                assert sum(w.is_alive() for w in roster) >= 1
+        assert frontend.stats()["worker_deaths"] == deaths
+        # After close() every worker has exited and the roster is empty.
+        assert frontend._workers == []
+
+    def test_close_empties_roster_without_deaths(self, compiled):
+        frontend = ServingFrontend(compiled, n_workers=3)
+        assert len(frontend._workers) == 3
+        frontend.close()
+        assert frontend._workers == []
+
+
+class TestLatencyAttribution:
+    def test_backpressure_blocking_is_not_charged_to_queue_wait(
+        self, compiled, tmp_path
+    ):
+        """A submit() that blocks on a full queue must not book the stall
+        as queue-wait: the clock starts when the request enters the
+        queue.  Staged with one slow worker (sleep fault) holding the
+        single-slot queue full while a third client blocks in submit().
+        """
+        from repro.serving import ServingTelemetry, TelemetryConfig
+
+        telemetry = ServingTelemetry(TelemetryConfig(sample_every=1))
+        faults = [
+            Fault(
+                point="serve_worker:claim",
+                action="sleep",
+                seconds=0.6,
+                times=1,
+            )
+        ]
+        batch = [(0, 1)]
+        with injected_faults(faults, tmp_path / "fault-state"):
+            with ServingFrontend(
+                compiled, n_workers=1, queue_size=1, telemetry=telemetry
+            ) as frontend:
+                frontend.submit(batch)  # A: claimed, sleeps 0.6 s
+                frontend.submit(batch)  # B: fills the one-slot queue
+
+                # C: blocks inside submit() until B is claimed.
+                def late_client():
+                    frontend.submit(batch)
+
+                blocked = threading.Thread(target=late_client)
+                blocked.start()
+                blocked.join(timeout=30)
+                assert not blocked.is_alive()
+
+        by_id = {
+            s["request_id"]: s for s in telemetry.snapshot()["samples"]
+        }
+        assert sorted(by_id) == [0, 1, 2]
+        # A's sleep is execute time (the worker held the request).
+        assert by_id[0]["execute_s"] >= 0.55
+        assert by_id[0]["queue_wait_s"] < 0.3
+        # B genuinely sat in the queue behind the slow worker.
+        assert by_id[1]["queue_wait_s"] >= 0.4
+        # C spent ~0.6 s blocked in submit(), but entered the queue only
+        # at the end — its recorded queue-wait must stay small.
+        assert by_id[2]["queue_wait_s"] < 0.3
+
+        stats = frontend.stats()
+        assert stats["queue_wait_s"]["count"] == 3
+        assert stats["execute_s"]["count"] == 3
+        assert stats["execute_s"]["max"] >= 0.55

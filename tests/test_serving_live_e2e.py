@@ -1,0 +1,164 @@
+"""End-to-end live telemetry: frontend under load + HTTP scrape + SLOs.
+
+The acceptance scenario for the live-observability stack: drive a real
+:class:`ServingFrontend` with concurrent clients while scraping the
+:class:`StatsServer` endpoint mid-flight, then — after the workload
+quiesces — require the scraped snapshot's cumulative counts to match
+``frontend.stats()`` *exactly*.  A staged latency fault must flip an SLO
+alert to firing and back to resolved as the slow window rotates out.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.live import SloRule
+from repro.serving import (
+    ServingFrontend,
+    ServingTelemetry,
+    StatsServer,
+    TelemetryConfig,
+    compile_model,
+)
+from repro.testing.faults import Fault, injected_faults
+from tests.serving_common import fitted_pipeline
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    pipeline, _ = fitted_pipeline("svm")
+    return compile_model(pipeline)
+
+
+@pytest.fixture(scope="module")
+def batches(compiled):
+    _, data = fitted_pipeline("svm")
+    return [
+        data.transactions[start : start + 8]
+        for start in range(0, data.n_rows, 8)
+    ]
+
+
+def scrape(url: str):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.read().decode("utf-8")
+
+
+class TestScrapeUnderLoad:
+    def test_snapshot_counts_match_frontend_exactly(self, compiled, batches):
+        telemetry = ServingTelemetry(
+            TelemetryConfig(slice_seconds=0.2, sample_every=4)
+        )
+        mid_flight: list[dict] = []
+        with StatsServer(telemetry) as server:
+            with ServingFrontend(
+                compiled, n_workers=3, queue_size=8, telemetry=telemetry
+            ) as frontend:
+                futures = []
+                lock = threading.Lock()
+
+                def client():
+                    for _ in range(3):
+                        for batch in batches:
+                            future = frontend.submit(batch)
+                            with lock:
+                                futures.append(future)
+
+                threads = [threading.Thread(target=client) for _ in range(4)]
+                for thread in threads:
+                    thread.start()
+                # Scrape both endpoints while the load is in flight.
+                mid_flight.append(json.loads(scrape(server.url + "/stats.json")))
+                prom_mid = scrape(server.url + "/metrics")
+                for thread in threads:
+                    thread.join()
+                for future in futures:
+                    future.result(timeout=30)
+                # Quiesced: one final scrape must agree with the frontend
+                # to the request.
+                final = json.loads(scrape(server.url + "/stats.json"))
+                stats = frontend.stats()
+
+        expected_requests = 4 * 3 * len(batches)
+        assert stats["requests"] == expected_requests
+        assert final["cumulative"]["requests"] == stats["requests"]
+        assert final["cumulative"]["rows"] == stats["rows"]
+        assert final["cumulative"]["errors"] == stats["errors"] == 0
+        assert (
+            final["cumulative"]["dropped_unknown_items"]
+            == stats["dropped_unknown_items"]
+        )
+        # The mid-flight scrape was a valid partial view.
+        mid = mid_flight[0]
+        assert mid["schema"] == final["schema"]
+        assert 0 <= mid["cumulative"]["requests"] <= expected_requests
+        assert "# TYPE repro_serving_requests_total counter" in prom_mid
+        # Sampling kept 1-in-4 of the request ids.
+        assert all(
+            s["request_id"] % 4 == 0 for s in final["samples"]
+        )
+        assert final["windowed"]["latency_s"]["count"] > 0
+
+    def test_healthz_and_404(self, compiled):
+        telemetry = ServingTelemetry(TelemetryConfig(slice_seconds=0.2))
+        with StatsServer(telemetry) as server:
+            assert scrape(server.url + "/healthz") == "ok\n"
+            with pytest.raises(urllib.error.HTTPError) as err:
+                scrape(server.url + "/nope")
+            assert err.value.code == 404
+
+
+class TestSloLifecycle:
+    def test_latency_fault_fires_then_resolves(
+        self, compiled, batches, tmp_path
+    ):
+        # Window: 6 x 0.2 s.  Two sleep faults inject ~0.5 s execute
+        # latency; p99 over the window breaches the 50 ms SLO, then the
+        # slow slices rotate out under fast traffic and it resolves.
+        telemetry = ServingTelemetry(
+            TelemetryConfig(
+                slice_seconds=0.2,
+                sample_every=1000,
+                slos=(SloRule("p99_latency", "p99_latency_s", 0.05),),
+            )
+        )
+        faults = [
+            Fault(
+                point="serve_worker:claim",
+                action="sleep",
+                seconds=0.5,
+                times=2,
+            )
+        ]
+        batch = batches[0]
+        with injected_faults(faults, tmp_path / "fault-state"):
+            with ServingFrontend(
+                compiled, n_workers=2, queue_size=8, telemetry=telemetry
+            ) as frontend:
+                # Slow phase: the two faulted requests carry ~0.5 s.
+                for _ in range(8):
+                    frontend.predict(batch)
+                assert telemetry.snapshot()["slo"]["firing"] == [
+                    "p99_latency"
+                ]
+
+                # Recovery phase: fast traffic until the window forgets.
+                deadline = 12.0
+                waited = 0.0
+                while telemetry.snapshot()["slo"]["firing"] and waited < deadline:
+                    frontend.predict(batch)
+                    threading.Event().wait(0.05)
+                    waited += 0.05
+
+        slo = telemetry.snapshot()["slo"]
+        assert slo["firing"] == []
+        states = [alert["state"] for alert in slo["alerts"]]
+        assert states[0] == "firing"
+        assert states[-1] == "resolved"
+        assert slo["breaches"] >= 1
+        assert telemetry.snapshot()["cumulative"]["requests"] >= 8
