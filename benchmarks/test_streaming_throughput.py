@@ -1,0 +1,144 @@
+"""Streaming-advance benchmark: incremental window vs full re-mine.
+
+The tentpole claim of the streaming layer is quantitative: advancing
+the sliding window by one shard (count the fresh shard once, merge
+integer counts, evaluate drift) must beat re-running the full
+window-sized pipeline (TopKMiner + MMRFS over the live rows) by at
+least 5x per advance — that is the whole point of shard-cached
+verticals and a drift-gated re-selection trigger.
+
+Both paths process the identical event stream and the equivalence of
+their counts is asserted before anything is timed — the speedup only
+counts if the cheap path is exact.
+
+Writes ``BENCH_streaming.json`` and appends
+``streaming.window_advance_wall_s`` to the trend store for
+``repro bench check``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.selection.mmrfs import mmrfs
+from repro.streaming.topk import TopKMiner
+from repro.streaming.window import SlidingWindowCounts
+
+N_ITEMS = 40
+N_CLASSES = 2
+SHARD_ROWS = 200
+WINDOW_SHARDS = 6
+N_SHARDS = 14  # total sealed shards streamed through
+K = 25
+MAX_LENGTH = 3
+SPEEDUP_FLOOR = 5.0
+
+_REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_streaming.json"
+
+
+def _event_stream():
+    rng = np.random.default_rng(29)
+    n = SHARD_ROWS * N_SHARDS
+    events = []
+    for i in range(n):
+        label = int(rng.integers(0, N_CLASSES))
+        shifted = i >= n // 2
+        base = [0, 1, 2] if (label ^ shifted) else [3, 4, 5]
+        extra = rng.choice(N_ITEMS, size=4, replace=False).tolist()
+        events.append((tuple(sorted(set(base + extra))), label))
+    return events
+
+
+def _tracked_patterns(events):
+    """A realistic tracked set: the selection over the first full window."""
+    window = SlidingWindowCounts(N_ITEMS, N_CLASSES, SHARD_ROWS, WINDOW_SHARDS)
+    for items, label in events[: SHARD_ROWS * WINDOW_SHARDS]:
+        window.append(items, label)
+    data = window.window_dataset()
+    topk = TopKMiner(k=K, max_length=MAX_LENGTH).mine(data)
+    selection = mmrfs(topk.patterns, data, delta=3)
+    return [p.items for p in selection.patterns]
+
+
+def test_window_advance_vs_full_remine(report_lines, trend):
+    events = _event_stream()
+    patterns = _tracked_patterns(events)
+    assert patterns, "benchmark needs a non-trivial tracked set"
+
+    window = SlidingWindowCounts(
+        N_ITEMS, N_CLASSES, SHARD_ROWS, WINDOW_SHARDS, patterns=patterns
+    )
+    warmup = SHARD_ROWS * WINDOW_SHARDS
+    for items, label in events[:warmup]:
+        window.append(items, label)
+    window.counts()  # warm every live shard's vertical + count caches
+
+    advance_times = []
+    remine_times = []
+    for items, label in events[warmup:]:
+        sealed = window.append(items, label)
+        if sealed is None:
+            continue
+        # Incremental path: count the one fresh shard, merge, score drift.
+        start = time.perf_counter()
+        counts = window.counts()
+        totals = window.class_totals()
+        advance_times.append(time.perf_counter() - start)
+
+        # Full path: what every advance would cost without the shard ring —
+        # rebuild the window dataset, re-mine top-k, re-run MMRFS.
+        start = time.perf_counter()
+        data = window.window_dataset()
+        topk = TopKMiner(k=K, max_length=MAX_LENGTH).mine(data)
+        mmrfs(topk.patterns, data, delta=3)
+        remine_times.append(time.perf_counter() - start)
+
+        # Exactness guard: the incremental counts equal the batch counts
+        # over the same live rows.
+        batch = np.array(
+            [data.class_support_counts(p) for p in window.patterns],
+            dtype=np.int64,
+        )
+        assert (counts == batch).all()
+        assert (totals == data.class_counts()).all()
+
+    assert len(advance_times) >= 5
+    advance_wall = float(np.median(advance_times))
+    remine_wall = float(np.median(remine_times))
+    speedup = remine_wall / advance_wall
+
+    trend(
+        "streaming.window_advance_wall_s",
+        advance_wall,
+        meta={
+            "shard_rows": SHARD_ROWS,
+            "window_shards": WINDOW_SHARDS,
+            "n_tracked": len(patterns),
+            "speedup_vs_remine": round(speedup, 2),
+        },
+    )
+    payload = {
+        "shard_rows": SHARD_ROWS,
+        "window_shards": WINDOW_SHARDS,
+        "window_rows": SHARD_ROWS * WINDOW_SHARDS,
+        "n_tracked_patterns": len(patterns),
+        "advances_measured": len(advance_times),
+        "window_advance_wall_s": advance_wall,
+        "full_remine_wall_s": remine_wall,
+        "speedup": speedup,
+        "speedup_floor": SPEEDUP_FLOOR,
+    }
+    _REPORT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    report_lines.append(
+        f"streaming advance: {advance_wall * 1e3:.2f} ms vs re-mine "
+        f"{remine_wall * 1e3:.2f} ms ({speedup:.1f}x, floor {SPEEDUP_FLOOR}x)"
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"window advance only {speedup:.2f}x cheaper than full re-mine "
+        f"(floor {SPEEDUP_FLOOR}x): advance {advance_wall:.6f}s, "
+        f"re-mine {remine_wall:.6f}s"
+    )

@@ -413,6 +413,116 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_stream_events(path_arg: str):
+    """Events from a JSONL stream file; (events, 0) on success,
+    (None, exit_code) on a missing or schema-invalid file.
+
+    One event per line: ``{"items": [...], "label": int}``.  Lines
+    carrying a ``"format"`` or ``"expected"`` key are fixture metadata
+    (manifest / golden-expectation lines) and are skipped, so checked-in
+    golden fixtures feed the CLI directly.
+    """
+    import json
+
+    path = Path(path_arg)
+    if not path.exists():
+        print(f"no such input file: {path}", file=sys.stderr)
+        return None, EXIT_MISSING_INPUT
+    events = []
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            print(f"{path}:{lineno}: not valid JSON ({exc})", file=sys.stderr)
+            return None, EXIT_SCHEMA_INVALID
+        if isinstance(payload, dict) and ("format" in payload or "expected" in payload):
+            continue
+        if (
+            not isinstance(payload, dict)
+            or not isinstance(payload.get("items"), list)
+            or not all(
+                isinstance(i, int) and not isinstance(i, bool) and i >= 0
+                for i in payload["items"]
+            )
+            or not isinstance(payload.get("label"), int)
+            or isinstance(payload.get("label"), bool)
+            or payload["label"] < 0
+        ):
+            print(
+                f'{path}:{lineno}: expected {{"items": [...], "label": int}} '
+                "with non-negative ints",
+                file=sys.stderr,
+            )
+            return None, EXIT_SCHEMA_INVALID
+        events.append((tuple(payload["items"]), payload["label"]))
+    return events, 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from .runtime.cache import CorruptArtifactError
+    from .runtime.experiment import ResumeMismatchError, ResumeMissingError
+    from .streaming import StreamSpec, run_stream
+
+    events, code = _read_stream_events(args.input)
+    if events is None:
+        return code
+    n_items = args.n_items
+    if n_items is None:
+        n_items = 1 + max((max(t) for t, _ in events if t), default=-1)
+    n_classes = args.n_classes
+    if n_classes is None:
+        n_classes = 1 + max((label for _, label in events), default=0)
+    spec = StreamSpec(
+        n_items=n_items,
+        n_classes=n_classes,
+        k=args.k,
+        min_length=args.min_length,
+        max_length=args.max_length,
+        shard_rows=args.shard_rows,
+        window_shards=args.window_shards,
+        drift_tolerance=args.drift_tolerance,
+        delta=args.delta,
+    )
+    try:
+        result = run_stream(events, spec, out_dir=args.out, resume=args.resume)
+    except ResumeMissingError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_MISSING_INPUT
+    except ResumeMismatchError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_SCHEMA_INVALID
+    except CorruptArtifactError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_CORRUPT_CHECKPOINT
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "fingerprint": result.fingerprint,
+                    "events_consumed": result.events_consumed,
+                    "seals": result.seals,
+                    "n_reselections": result.n_reselections,
+                    "report": str(result.report_path),
+                },
+                sort_keys=True,
+            )
+        )
+    else:
+        print(
+            f"consumed {result.events_consumed} events: {result.seals} window "
+            f"advances, {result.n_reselections} re-selections"
+        )
+        print(f"report in {result.report_path}")
+    return 0
+
+
 def _read_workload(path_arg: str):
     """Transactions from a JSON workload file; (transactions, 0) on
     success, (None, exit_code) on a missing or schema-invalid file.
@@ -911,6 +1021,54 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--seed", type=int, default=0)
     add_trace(experiment)
     experiment.set_defaults(handler=_cmd_experiment)
+
+    stream = commands.add_parser(
+        "stream",
+        help="consume a transaction stream with windowed top-k mining "
+             "and drift-triggered re-selection (resumable)",
+    )
+    stream.add_argument(
+        "input", metavar="EVENTS",
+        help='JSONL event file, one {"items": [...], "label": int} per line',
+    )
+    stream.add_argument(
+        "--out", required=True, metavar="DIR",
+        help="run directory for shard checkpoints and the final report",
+    )
+    stream.add_argument(
+        "--resume", action="store_true",
+        help="restore from the last sealed-shard checkpoint in DIR",
+    )
+    stream.add_argument("--k", type=int, default=20,
+                        help="top-k patterns per re-selection (default 20)")
+    stream.add_argument("--min-length", type=int, default=1, dest="min_length")
+    stream.add_argument("--max-length", type=int, default=4, dest="max_length")
+    stream.add_argument(
+        "--shard-rows", type=int, default=32, dest="shard_rows",
+        help="events per window shard; the window advances when one seals",
+    )
+    stream.add_argument(
+        "--window-shards", type=int, default=8, dest="window_shards",
+        help="sealed shards the sliding window spans",
+    )
+    stream.add_argument(
+        "--drift-tolerance", type=float, default=0.05, dest="drift_tolerance",
+        help="IG shift (bits) that triggers re-selection (default 0.05)",
+    )
+    stream.add_argument("--delta", type=int, default=1,
+                        help="MMRFS coverage threshold (default 1)")
+    stream.add_argument(
+        "--n-items", type=int, default=None, dest="n_items",
+        help="item-space size (default: derived from the events)",
+    )
+    stream.add_argument(
+        "--n-classes", type=int, default=None, dest="n_classes",
+        help="class count (default: derived from the events)",
+    )
+    stream.add_argument("--json", action="store_true",
+                        help="print a JSON summary instead of prose")
+    add_trace(stream)
+    stream.set_defaults(handler=_cmd_stream)
 
     def add_registry(sub):
         sub.add_argument(

@@ -194,6 +194,12 @@ class ServingFrontend:
                 continue
             claimed_at = time.perf_counter()
             queue_wait = max(claimed_at - request.enqueued_at, 0.0)
+            # The model is pinned at claim time: a concurrent
+            # swap_model() must not change which model an
+            # already-claimed request runs on (and the sleep-fault seam
+            # below holds the request *with* this capture, which is what
+            # the hot-reload test leans on).
+            model = self.model
             try:
                 # The staged-death seam: an injected fault here models a
                 # worker dying *after* it claimed a request but before it
@@ -224,9 +230,9 @@ class ServingFrontend:
             dropped = 0
             try:
                 sanitized, dropped = sanitize_transactions(
-                    request.transactions, self.model.n_items
+                    request.transactions, model.n_items
                 )
-                result = self.model.predict(sanitized, sanitize=False)
+                result = model.predict(sanitized, sanitize=False)
                 request.future.set_result(result)
             except BaseException as exc:  # a request error is a result
                 request.future.set_exception(exc)
@@ -254,6 +260,28 @@ class ServingFrontend:
                 self._queue.task_done()
 
     # ------------------------------------------------------------------
+    def swap_model(self, model: CompiledModel) -> CompiledModel:
+        """Hot-swap the served model; returns the one it replaced.
+
+        The swap is a single locked attribute write, so it is atomic
+        with respect to the workers' claim-time capture: requests
+        already claimed (or ahead in the queue when a worker claims
+        them before the swap lands) finish on the old model, requests
+        claimed after the swap run on the new one.  No queue drain, no
+        worker restart, no dropped requests.
+        """
+        with self._lock:
+            previous = self.model
+            self.model = model
+        _obs.add("serving.model_swaps")
+        _obs.event(
+            "serving",
+            "model hot-swapped",
+            n_items=model.n_items,
+            previous_n_items=previous.n_items,
+        )
+        return previous
+
     def submit(self, transactions: Sequence[Sequence[int]]) -> Future:
         """Enqueue one prediction request; resolves to the label array.
 

@@ -1,0 +1,36 @@
+"""Streaming / incremental discriminative mining.
+
+Batch mining answers "what discriminates in this frozen dataset";
+this package answers the production question — "what discriminates in
+the traffic arriving *right now*" — with three composable pieces:
+
+* :class:`~repro.streaming.topk.TopKMiner` — exact best-first top-k
+  discriminative mining, no min_sup knob, memory O(k + frontier);
+* :class:`~repro.streaming.window.SlidingWindowCounts` — sliding-window
+  per-class supports over ring-buffered bitset shards, order-invariant;
+* :class:`~repro.streaming.drift.DriftMonitor` +
+  :func:`~repro.streaming.consumer.run_stream` — drift-triggered
+  re-selection, checkpointed for byte-identical kill/resume.
+
+See ``docs/STREAMING.md`` for semantics and guarantees.
+"""
+
+from .drift import DriftMonitor, DriftReport
+from .topk import FrontierCapExceeded, ScoredPattern, TopKMiner, TopKResult, rank_key
+from .window import SlidingWindowCounts
+from .consumer import StreamResult, StreamSpec, run_stream, stream_fingerprint
+
+__all__ = [
+    "DriftMonitor",
+    "DriftReport",
+    "FrontierCapExceeded",
+    "ScoredPattern",
+    "SlidingWindowCounts",
+    "StreamResult",
+    "StreamSpec",
+    "TopKMiner",
+    "TopKResult",
+    "rank_key",
+    "run_stream",
+    "stream_fingerprint",
+]

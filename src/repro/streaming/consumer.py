@@ -1,0 +1,356 @@
+"""The stream consumer: window advance -> drift check -> re-selection.
+
+Ties the streaming pieces to the resumable runtime (PR 3).  One
+:func:`run_stream` call consumes an event sequence, advancing a
+:class:`~repro.streaming.window.SlidingWindowCounts` per event; every
+sealed shard triggers a drift evaluation, and only a drifted (or
+baseline-less) window pays for the expensive path — TopKMiner over the
+live window followed by MMRFS — after which the selected patterns
+become the new tracked set and the drift baseline is rebased.
+
+Every sealed shard is checkpointed through the content-addressed
+:class:`~repro.runtime.cache.ArtifactCache` *before* its fault point,
+so a consumer killed mid-stream resumes from the last sealed shard and
+produces a byte-identical ``stream_report.json`` — the same
+byte-identity contract ``repro experiment --resume`` honors, pinned by
+the fault-injected CI job.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+from ..measures.bounds import BoundMode
+from ..obs import core as _obs
+from ..runtime.cache import ArtifactCache, content_key, fingerprint
+from ..runtime.experiment import ResumeMismatchError, ResumeMissingError, _dump_json
+from ..selection.mmrfs import mmrfs
+from ..io.serialize import selection_to_json
+from ..testing import faults as _faults
+from .drift import DriftMonitor
+from .topk import TopKMiner
+from .window import SlidingWindowCounts
+
+__all__ = ["StreamSpec", "StreamResult", "run_stream", "stream_fingerprint"]
+
+_STREAM_FORMAT_VERSION = 1
+_MANIFEST_NAME = "stream_run.json"
+_REPORT_NAME = "stream_report.json"
+_SHARD_STAGE = "stream_shard"
+
+Event = tuple[tuple[int, ...], int]
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """Everything that determines a stream run's outcome.
+
+    The spec plus the event sequence's content key is the run's
+    fingerprint — equal fingerprints produce byte-identical reports,
+    which is what ``--resume`` checks before trusting a checkpoint.
+    """
+
+    n_items: int
+    n_classes: int
+    k: int = 20
+    min_length: int = 1
+    max_length: int | None = 4
+    shard_rows: int = 32
+    window_shards: int = 8
+    drift_tolerance: float = 0.05
+    delta: int = 1
+    relevance: str = "information_gain"
+    bound_mode: BoundMode = "paper"
+    frontier_cap: int | None = None
+
+
+@dataclass
+class StreamResult:
+    """Outcome of one (possibly resumed) stream run."""
+
+    out_dir: Path
+    fingerprint: str
+    events_consumed: int
+    seals: int
+    n_reselections: int
+    report_path: Path
+    report: dict[str, Any] = field(repr=False)
+
+
+def stream_fingerprint(spec: StreamSpec, events: Sequence[Event]) -> str:
+    """The run's identity: spec plus event-sequence content key."""
+    return fingerprint(
+        format=_STREAM_FORMAT_VERSION,
+        spec=asdict(spec),
+        events=content_key([[list(items), int(label)] for items, label in events]),
+    )
+
+
+def _write_manifest(path: Path, spec: StreamSpec, key: str, n_events: int) -> None:
+    _dump_json(
+        {
+            "format_version": _STREAM_FORMAT_VERSION,
+            "kind": "stream",
+            "fingerprint": key,
+            "spec": asdict(spec),
+            "n_events": n_events,
+        },
+        path,
+    )
+
+
+def _check_resumable(path: Path, key: str) -> None:
+    """Validate an existing stream manifest against this run's identity."""
+    if not path.exists():
+        raise ResumeMissingError(
+            f"cannot resume: no stream manifest at {path} "
+            "(was this directory produced by 'repro stream'?)"
+        )
+    try:
+        manifest = json.loads(path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ResumeMismatchError(
+            f"cannot resume: stream manifest {path} is not valid JSON ({exc})"
+        ) from exc
+    if (
+        manifest.get("format_version") != _STREAM_FORMAT_VERSION
+        or manifest.get("kind") != "stream"
+    ):
+        raise ResumeMismatchError(
+            f"cannot resume: unsupported stream manifest in {path}"
+        )
+    found = manifest.get("fingerprint")
+    if found != key:
+        raise ResumeMismatchError(
+            "cannot resume: stream directory was produced by a different "
+            f"spec or event sequence (fingerprint {found!r} != {key!r}); "
+            "rerun without --resume to start fresh"
+        )
+
+
+class _StreamState:
+    """Mutable consumer state; everything a checkpoint must capture."""
+
+    def __init__(self, spec: StreamSpec) -> None:
+        self.spec = spec
+        self.window = SlidingWindowCounts(
+            n_items=spec.n_items,
+            n_classes=spec.n_classes,
+            shard_rows=spec.shard_rows,
+            window_shards=spec.window_shards,
+        )
+        self.monitor = DriftMonitor(tolerance=spec.drift_tolerance)
+        self.events_consumed = 0
+        self.seals = 0
+        self.n_reselections = 0
+        self.topk_json: dict[str, Any] | None = None
+        self.selection_json: dict[str, Any] | None = None
+        self.windows: list[dict[str, Any]] = []
+
+    def to_payload(self, epoch: int) -> dict[str, Any]:
+        return {
+            "format_version": _STREAM_FORMAT_VERSION,
+            "epoch": epoch,
+            "events_consumed": self.events_consumed,
+            "seals": self.seals,
+            "n_reselections": self.n_reselections,
+            "window": self.window.to_payload(),
+            "monitor": self.monitor.to_payload(),
+            "topk": self.topk_json,
+            "selection": self.selection_json,
+            "windows": self.windows,
+        }
+
+    @classmethod
+    def from_payload(cls, spec: StreamSpec, payload: dict[str, Any]) -> "_StreamState":
+        state = cls(spec)
+        state.window = SlidingWindowCounts.from_payload(payload["window"])
+        state.monitor = DriftMonitor.from_payload(payload["monitor"])
+        state.events_consumed = int(payload["events_consumed"])
+        state.seals = int(payload["seals"])
+        state.n_reselections = int(payload["n_reselections"])
+        state.topk_json = payload["topk"]
+        state.selection_json = payload["selection"]
+        state.windows = list(payload["windows"])
+        return state
+
+
+def _advance(state: _StreamState, epoch: int) -> None:
+    """One window advance: drift check, optional re-selection, summary."""
+    spec = state.spec
+    window = state.window
+    started = time.perf_counter()
+    counts = window.counts()
+    class_totals = window.class_totals()
+    had_baseline = state.monitor.has_baseline
+    report = state.monitor.evaluate(counts, class_totals)
+    reselected = False
+    if report.drifted:
+        data = window.window_dataset(name=f"stream-window-{epoch}")
+        miner = TopKMiner(
+            k=spec.k,
+            min_length=spec.min_length,
+            max_length=spec.max_length,
+            frontier_cap=spec.frontier_cap,
+            bound_mode=spec.bound_mode,
+        )
+        topk = miner.mine(data)
+        selection = mmrfs(
+            topk.patterns,
+            data,
+            relevance=spec.relevance,
+            delta=spec.delta,
+        )
+        window.track([p.items for p in selection.patterns])
+        state.monitor.rebase(window.counts(), class_totals)
+        state.topk_json = topk.to_json()
+        state.selection_json = selection_to_json(selection)
+        state.n_reselections += 1
+        reselected = True
+        _obs.add("streaming.reselections")
+        _obs.event(
+            "streaming",
+            f"re-selection at epoch {epoch}",
+            epoch=epoch,
+            max_shift=report.max_shift if had_baseline else None,
+            n_selected=len(selection.patterns),
+        )
+    state.seals += 1
+    state.windows.append(
+        {
+            "epoch": epoch,
+            "window_rows": window.window_rows,
+            "reselected": reselected,
+            # inf (no baseline yet) is not valid strict JSON; None marks
+            # "first evaluation" in the report instead.
+            "max_shift": report.max_shift if had_baseline else None,
+            "n_tracked": report.n_tracked,
+        }
+    )
+    _obs.add("streaming.seals")
+    _obs.observe("streaming.window_advance_s", time.perf_counter() - started)
+
+
+def _final_report(state: _StreamState, key: str, n_events: int) -> dict[str, Any]:
+    window = state.window
+    counts = window.counts()
+    return {
+        "format_version": _STREAM_FORMAT_VERSION,
+        "fingerprint": key,
+        "spec": asdict(state.spec),
+        "n_events": n_events,
+        "events_consumed": state.events_consumed,
+        "seals": state.seals,
+        "n_reselections": state.n_reselections,
+        "window_rows": window.window_rows,
+        "tracked": [
+            {"items": list(items), "class_counts": [int(c) for c in counts[i]]}
+            for i, items in enumerate(window.patterns)
+        ],
+        "class_totals": [int(c) for c in window.class_totals()],
+        "topk": state.topk_json,
+        "selection": state.selection_json,
+        "windows": state.windows,
+    }
+
+
+def run_stream(
+    events: Sequence[Event],
+    spec: StreamSpec,
+    out_dir: str | Path,
+    resume: bool = False,
+) -> StreamResult:
+    """Consume ``events`` through the windowed mining loop.
+
+    Deterministic by construction: the report depends only on
+    ``(spec, events)``, never on timing, so a fresh run and a
+    kill/resume run write byte-identical ``stream_report.json``.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    manifest_path = out_dir / _MANIFEST_NAME
+    report_path = out_dir / _REPORT_NAME
+    key = stream_fingerprint(spec, events)
+    cache = ArtifactCache(out_dir / "cache")
+
+    with _obs.span(
+        "streaming.run", events=len(events), resume=bool(resume)
+    ) as run_span:
+        if resume:
+            _check_resumable(manifest_path, key)
+            state = _load_latest_checkpoint(cache, key, spec)
+        else:
+            cache.clear()
+            if report_path.exists():
+                report_path.unlink()
+            _write_manifest(manifest_path, spec, key, len(events))
+            state = _StreamState(spec)
+
+        for items, label in events[state.events_consumed :]:
+            sealed = state.window.append(items, label)
+            state.events_consumed += 1
+            _obs.add("streaming.events")
+            if sealed is None:
+                continue
+            _advance(state, sealed)
+            # Checkpoint first, then the fault seam: a kill at the seam
+            # finds this shard durable and resumes after it.
+            cache.put(
+                _SHARD_STAGE,
+                fingerprint(run=key, seal=sealed),
+                state.to_payload(sealed),
+            )
+            _faults.fault_point("stream", f"shard:{sealed}")
+
+        report = _final_report(state, key, len(events))
+        report_path.write_text(
+            json.dumps(report, sort_keys=True, indent=1) + "\n", encoding="utf-8"
+        )
+        run_span.set(
+            seals=state.seals,
+            reselections=state.n_reselections,
+            consumed=state.events_consumed,
+        )
+
+    return StreamResult(
+        out_dir=out_dir,
+        fingerprint=key,
+        events_consumed=state.events_consumed,
+        seals=state.seals,
+        n_reselections=state.n_reselections,
+        report_path=report_path,
+        report=report,
+    )
+
+
+def _load_latest_checkpoint(
+    cache: ArtifactCache, key: str, spec: StreamSpec
+) -> _StreamState:
+    """Restore from the highest sealed-shard checkpoint, if any.
+
+    Seals are numbered densely from 0, so probing upward until the
+    first miss finds the frontier; a corrupt artifact along the way
+    propagates :class:`~repro.runtime.cache.CorruptArtifactError`
+    (exit code 5 at the CLI, same as ``repro experiment``).
+    """
+    latest: dict[str, Any] | None = None
+    seal = 0
+    while True:
+        payload = cache.get(_SHARD_STAGE, fingerprint(run=key, seal=seal))
+        if payload is None:
+            break
+        latest = payload
+        seal += 1
+    if latest is None:
+        return _StreamState(spec)
+    _obs.event(
+        "streaming",
+        f"resumed from sealed shard {latest['epoch']}",
+        epoch=int(latest["epoch"]),
+        events_consumed=int(latest["events_consumed"]),
+    )
+    return _StreamState.from_payload(spec, latest)

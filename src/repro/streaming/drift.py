@@ -1,0 +1,129 @@
+"""Class-conditional drift detection over tracked pattern scores.
+
+Re-running TopKMiner + MMRFS on every window advance would erase the
+incremental win of the shard ring.  Instead the consumer tracks the
+currently-selected patterns' information gain over the live window and
+re-selects only when some tracked score moved past a declared
+tolerance — the "cheap trigger, expensive response" shape.
+
+Scores are recomputed from the window's integer count matrix with the
+same :func:`~repro.measures.vectorized.information_gain_batch` kernel
+the miner uses, so a drift of 0.0 is a bit-exact statement, not a
+float-tolerance accident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..measures.vectorized import information_gain_batch
+
+__all__ = ["DriftMonitor", "DriftReport"]
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Outcome of one drift evaluation against the current baseline."""
+
+    drifted: bool
+    max_shift: float
+    tolerance: float
+    shifts: tuple[float, ...]
+    n_tracked: int
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "drifted": self.drifted,
+            "max_shift": self.max_shift,
+            "tolerance": self.tolerance,
+            "n_tracked": self.n_tracked,
+        }
+
+
+def _window_scores(counts: np.ndarray, class_totals: np.ndarray) -> np.ndarray:
+    """IG of each tracked pattern over the window the counts describe."""
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.size == 0:
+        return np.zeros(counts.shape[0], dtype=float)
+    absent = np.asarray(class_totals, dtype=np.int64)[np.newaxis, :] - counts
+    return information_gain_batch(counts, absent)
+
+
+class DriftMonitor:
+    """Tracks IG shift of a pattern set against a rebased baseline.
+
+    ``tolerance`` is in IG bits: :meth:`evaluate` reports drift when any
+    tracked pattern's window IG differs from its baseline IG by strictly
+    more than the tolerance.  A monitor with no baseline (fresh stream,
+    or after :meth:`reset`) always reports drift — the consumer's cue to
+    run the first selection.
+    """
+
+    def __init__(self, tolerance: float = 0.05) -> None:
+        if tolerance < 0:
+            raise ValueError("tolerance must be >= 0")
+        self.tolerance = float(tolerance)
+        self._baseline: np.ndarray | None = None
+
+    @property
+    def has_baseline(self) -> bool:
+        return self._baseline is not None
+
+    def rebase(self, counts: np.ndarray, class_totals: np.ndarray) -> None:
+        """Adopt the current window scores as the new baseline."""
+        self._baseline = _window_scores(counts, class_totals)
+
+    def reset(self) -> None:
+        self._baseline = None
+
+    def evaluate(
+        self, counts: np.ndarray, class_totals: np.ndarray
+    ) -> DriftReport:
+        scores = _window_scores(counts, class_totals)
+        if self._baseline is None or len(self._baseline) != len(scores):
+            # No baseline (or the tracked set changed shape underneath us,
+            # which only happens if track() ran without a rebase): treat as
+            # drifted so selection re-establishes a coherent baseline.
+            return DriftReport(
+                drifted=True,
+                max_shift=float("inf"),
+                tolerance=self.tolerance,
+                shifts=tuple(),
+                n_tracked=len(scores),
+            )
+        shifts = np.abs(scores - self._baseline)
+        max_shift = float(shifts.max()) if shifts.size else 0.0
+        return DriftReport(
+            drifted=bool(max_shift > self.tolerance),
+            max_shift=max_shift,
+            tolerance=self.tolerance,
+            shifts=tuple(float(s) for s in shifts),
+            n_tracked=len(scores),
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "format_version": 1,
+            "tolerance": self.tolerance,
+            "baseline": None
+            if self._baseline is None
+            else [float(x) for x in self._baseline],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "DriftMonitor":
+        if payload.get("format_version") != 1:
+            raise ValueError(
+                f"unsupported drift payload version {payload.get('format_version')!r}"
+            )
+        monitor = cls(tolerance=payload["tolerance"])
+        baseline = payload["baseline"]
+        if baseline is not None:
+            monitor._baseline = np.asarray(baseline, dtype=float)
+        return monitor

@@ -1,0 +1,170 @@
+"""Hot model reload: swap the served model without draining the frontend.
+
+The contract `ServingFrontend.swap_model` makes (and these tests pin):
+
+* requests already claimed by a worker finish on the model that was
+  live at claim time — the worker captures ``self.model`` once, so a
+  concurrent swap can never split one request across two models;
+* requests claimed after the swap run on the new model;
+* no drain, no worker restart, no dropped or errored requests.
+
+The registry side of the reload story is also pinned here: publishing
+a second model under an existing name makes the *name* ambiguous by
+design (``resolve`` raises a clear error rather than guessing), so the
+documented reload recipe is resolve-by-id + ``swap_model`` — see
+``docs/SERVING.md``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving import ServingFrontend, compile_model
+from repro.serving.registry import ModelNotFoundError, ModelRegistry
+from repro.testing.faults import Fault, injected_faults
+from tests.serving_common import fitted_pipeline, serving_data
+
+
+@pytest.fixture(scope="module")
+def models():
+    """Two compiled models that disagree somewhere on the shared data."""
+    old_pipeline, data = fitted_pipeline("svm")
+    new_pipeline, _ = fitted_pipeline("naive_bayes")
+    old = compile_model(old_pipeline)
+    new = compile_model(new_pipeline)
+    rows = data.transactions
+    assert not np.array_equal(old.predict(rows), new.predict(rows)), (
+        "reload tests need models with observably different predictions"
+    )
+    return old, new
+
+
+@pytest.fixture()
+def probe_rows(models):
+    """Rows on which the two models' predictions differ, so "which model
+    answered" is decidable from the response alone."""
+    old, new = models
+    rows = serving_data().transactions
+    differ = np.flatnonzero(old.predict(rows) != new.predict(rows))
+    assert differ.size >= 5
+    return [rows[int(i)] for i in differ[:20]]
+
+
+def wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+class TestSwapModel:
+    def test_swap_returns_previous_and_routes_new_submits(
+        self, models, probe_rows
+    ):
+        old, new = models
+        frontend = ServingFrontend(old, n_workers=1)
+        try:
+            before = frontend.submit(probe_rows).result(timeout=5)
+            assert np.array_equal(before, old.predict(probe_rows))
+            previous = frontend.swap_model(new)
+            assert previous is old
+            assert frontend.model is new
+            after = frontend.submit(probe_rows).result(timeout=5)
+            assert np.array_equal(after, new.predict(probe_rows))
+        finally:
+            frontend.close()
+
+    def test_in_flight_request_finishes_on_old_model(
+        self, models, probe_rows, tmp_path
+    ):
+        """The ISSUE's pin: a request claimed before the swap lands runs
+        to completion on the old model, while the next submit sees the
+        new one.  A sleep fault at the claim seam (which fires *after*
+        the worker's model capture) holds the in-flight request long
+        enough for the swap to race ahead of its execution."""
+        old, new = models
+        with injected_faults(
+            [Fault("serve_worker:claim", "sleep", times=1, seconds=0.4)],
+            tmp_path / "faults",
+        ):
+            frontend = ServingFrontend(old, n_workers=1)
+            try:
+                in_flight = frontend.submit(probe_rows)
+                # Claimed == left the queue; the worker now sleeps in the
+                # fault with the old model already captured.
+                assert wait_until(
+                    lambda: frontend.stats()["queue_depth"] == 0
+                )
+                frontend.swap_model(new)
+                assert np.array_equal(
+                    in_flight.result(timeout=5), old.predict(probe_rows)
+                )
+                fresh = frontend.submit(probe_rows)
+                assert np.array_equal(
+                    fresh.result(timeout=5), new.predict(probe_rows)
+                )
+            finally:
+                frontend.close()
+        stats = frontend.stats()
+        assert stats["requests"] == 2
+        assert stats["errors"] == 0
+
+    def test_swap_under_load_never_mixes_models(self, models, probe_rows):
+        """Every response under a mid-load swap must equal exactly one
+        model's prediction for its batch — never a blend, never an error."""
+        old, new = models
+        expect_old = old.predict(probe_rows)
+        expect_new = new.predict(probe_rows)
+        frontend = ServingFrontend(old, n_workers=2, queue_size=8)
+        try:
+            futures = [frontend.submit(probe_rows) for _ in range(20)]
+            frontend.swap_model(new)
+            futures += [frontend.submit(probe_rows) for _ in range(20)]
+            outcomes = {"old": 0, "new": 0}
+            for future in futures:
+                result = future.result(timeout=10)
+                if np.array_equal(result, expect_old):
+                    outcomes["old"] += 1
+                elif np.array_equal(result, expect_new):
+                    outcomes["new"] += 1
+                else:  # pragma: no cover - the failure this test exists for
+                    pytest.fail("response matches neither model")
+            # Everything submitted after the swap must be new-model.
+            assert outcomes["new"] >= 20
+        finally:
+            frontend.close()
+        assert frontend.stats()["errors"] == 0
+
+
+class TestRegistryReloadRecipe:
+    def test_republished_name_is_ambiguous_by_design(self, models, tmp_path):
+        old, new = models
+        old_pipeline, _ = fitted_pipeline("svm")
+        new_pipeline, _ = fitted_pipeline("naive_bayes")
+        registry = ModelRegistry(tmp_path / "registry")
+        first = registry.publish(old_pipeline, name="prod")
+        assert registry.resolve("prod") == first.model_id
+        second = registry.publish(new_pipeline, name="prod")
+        # Names are labels, not pointers: two live models under one name
+        # make the name ambiguous, and resolve says so instead of guessing
+        # which one "prod" now means.
+        with pytest.raises(ModelNotFoundError) as excinfo:
+            registry.resolve("prod")
+        assert "ambiguous name (2 models)" in str(excinfo.value)
+        # The documented reload recipe: resolve the new revision by id,
+        # load it compiled, swap it into the live frontend.
+        reloaded = registry.load_compiled(registry.resolve(second.model_id))
+        frontend = ServingFrontend(registry.load_compiled(first.model_id))
+        try:
+            frontend.swap_model(reloaded)
+            rows = serving_data().transactions[:10]
+            assert np.array_equal(
+                frontend.submit(rows).result(timeout=5), new.predict(rows)
+            )
+        finally:
+            frontend.close()

@@ -1,0 +1,105 @@
+"""DriftMonitor semantics: when re-selection fires, and when it must not."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streaming.drift import DriftMonitor
+
+
+def counts_for(rows: list[list[int]]) -> np.ndarray:
+    return np.asarray(rows, dtype=np.int64)
+
+
+class TestDriftMonitor:
+    def test_no_baseline_always_drifts(self):
+        monitor = DriftMonitor(tolerance=0.5)
+        report = monitor.evaluate(counts_for([[3, 0]]), np.array([5, 5]))
+        assert report.drifted
+        assert report.max_shift == float("inf")
+
+    def test_identical_counts_shift_is_exactly_zero(self):
+        monitor = DriftMonitor(tolerance=0.0)
+        counts = counts_for([[4, 1], [0, 3]])
+        totals = np.array([6, 6])
+        monitor.rebase(counts, totals)
+        report = monitor.evaluate(counts, totals)
+        # Same kernel, same integers: bit-exact zero, so even a zero
+        # tolerance does not fire on an unchanged window.
+        assert report.max_shift == 0.0
+        assert not report.drifted
+
+    def test_support_flip_drifts(self):
+        monitor = DriftMonitor(tolerance=0.05)
+        totals = np.array([10, 10])
+        monitor.rebase(counts_for([[9, 1], [1, 9]]), totals)
+        report = monitor.evaluate(counts_for([[5, 5], [5, 5]]), totals)
+        assert report.drifted
+        assert report.max_shift > 0.3
+
+    def test_small_shift_within_tolerance_does_not_fire(self):
+        monitor = DriftMonitor(tolerance=0.5)
+        totals = np.array([10, 10])
+        monitor.rebase(counts_for([[9, 1]]), totals)
+        report = monitor.evaluate(counts_for([[8, 2]]), totals)
+        assert not report.drifted
+        assert 0.0 < report.max_shift <= 0.5
+
+    def test_shape_change_without_rebase_drifts(self):
+        monitor = DriftMonitor(tolerance=1.0)
+        monitor.rebase(counts_for([[4, 1]]), np.array([5, 5]))
+        report = monitor.evaluate(counts_for([[4, 1], [1, 4]]), np.array([5, 5]))
+        assert report.drifted
+
+    def test_rebase_resets_the_reference(self):
+        monitor = DriftMonitor(tolerance=0.05)
+        totals = np.array([10, 10])
+        monitor.rebase(counts_for([[9, 1]]), totals)
+        drifted_counts = counts_for([[2, 8]])
+        assert monitor.evaluate(drifted_counts, totals).drifted
+        monitor.rebase(drifted_counts, totals)
+        assert not monitor.evaluate(drifted_counts, totals).drifted
+
+    def test_reset_clears_baseline(self):
+        monitor = DriftMonitor()
+        monitor.rebase(counts_for([[1, 1]]), np.array([2, 2]))
+        assert monitor.has_baseline
+        monitor.reset()
+        assert not monitor.has_baseline
+        assert monitor.evaluate(counts_for([[1, 1]]), np.array([2, 2])).drifted
+
+    def test_empty_tracked_set(self):
+        monitor = DriftMonitor()
+        empty = np.zeros((0, 2), dtype=np.int64)
+        monitor.rebase(empty, np.array([3, 3]))
+        report = monitor.evaluate(empty, np.array([3, 3]))
+        assert not report.drifted
+        assert report.max_shift == 0.0
+        assert report.n_tracked == 0
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            DriftMonitor(tolerance=-0.1)
+
+    def test_payload_round_trip(self):
+        monitor = DriftMonitor(tolerance=0.2)
+        monitor.rebase(counts_for([[5, 1], [2, 6]]), np.array([8, 8]))
+        restored = DriftMonitor.from_payload(monitor.to_payload())
+        assert restored.tolerance == monitor.tolerance
+        assert restored.has_baseline
+        counts = counts_for([[5, 1], [2, 6]])
+        a = monitor.evaluate(counts, np.array([8, 8]))
+        b = restored.evaluate(counts, np.array([8, 8]))
+        assert a == b
+
+    def test_payload_round_trip_without_baseline(self):
+        restored = DriftMonitor.from_payload(DriftMonitor(0.3).to_payload())
+        assert restored.tolerance == 0.3
+        assert not restored.has_baseline
+
+    def test_rejects_unknown_payload_version(self):
+        payload = DriftMonitor().to_payload()
+        payload["format_version"] = 99
+        with pytest.raises(ValueError):
+            DriftMonitor.from_payload(payload)
