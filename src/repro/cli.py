@@ -385,6 +385,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         model=args.model,
         folds=args.folds,
         seed=args.seed,
+        shard_rows=args.shard_rows,
+        condense=args.condense,
     )
     try:
         result = run_experiment(
@@ -1019,6 +1021,17 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--model", choices=("svm", "c45"), default="svm")
     experiment.add_argument("--folds", type=int, default=3)
     experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument(
+        "--shard-rows", type=int, default=None, dest="shard_rows",
+        metavar="N",
+        help="mine out-of-core over mmap shards of N rows instead of "
+             "in-memory (identical results; bounded memory)",
+    )
+    experiment.add_argument(
+        "--condense", action="store_true",
+        help="non-derivable-itemset condensation for the sharded "
+             "counting pass (requires --shard-rows)",
+    )
     add_trace(experiment)
     experiment.set_defaults(handler=_cmd_experiment)
 

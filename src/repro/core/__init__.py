@@ -34,6 +34,14 @@ from .bitset import (
     word_count,
 )
 from .parallel import parallel_map, resolve_n_jobs
+from .shards import (
+    ShardHandle,
+    ShardSet,
+    ShardWriter,
+    VerticalDataset,
+    shard_dataset,
+    stitch,
+)
 
 #: Lazy re-exports: attribute name -> defining module (relative to repro).
 _LAZY_EXPORTS = {
@@ -75,6 +83,12 @@ __all__ = [
     "word_count",
     "parallel_map",
     "resolve_n_jobs",
+    "ShardHandle",
+    "ShardSet",
+    "ShardWriter",
+    "VerticalDataset",
+    "shard_dataset",
+    "stitch",
 ]
 
 

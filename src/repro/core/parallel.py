@@ -48,6 +48,7 @@ obs event channel rather than failing or silently diverging.
 from __future__ import annotations
 
 import os
+import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import BrokenExecutor
@@ -63,7 +64,30 @@ __all__ = [
     "resolve_n_jobs",
     "parallel_map",
     "process_pool_available",
+    "get_shared",
 ]
+
+#: Sentinel distinguishing "no shared payload" from a shared value of None.
+_NO_SHARED = object()
+
+#: Per-worker-process slot for the pool-wide shared payload (see
+#: :func:`parallel_map`'s ``shared``).  Set once per worker by the pool
+#: initializer, so the payload crosses the process boundary exactly once
+#: per pool instead of once per submitted task.
+_SHARED: tuple | None = None
+
+
+def _init_shared(payload: Any) -> None:
+    """Process-pool initializer: stash the shared payload for this worker."""
+    global _SHARED
+    _SHARED = (payload,)
+
+
+def get_shared() -> Any:
+    """The pool-wide shared payload inside a worker (None-safe accessor)."""
+    if _SHARED is None:
+        raise RuntimeError("no shared payload was configured for this pool")
+    return _SHARED[0]
 
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
@@ -142,6 +166,23 @@ def process_pool_available() -> bool:
     return True
 
 
+def _apply(fn: Callable, item: Any, shared: Any) -> Any:
+    """Call ``fn`` with or without the pool-wide shared payload."""
+    if shared is _NO_SHARED:
+        return fn(item)
+    return fn(shared, item)
+
+
+def _worker_shared() -> Any:
+    """The shared payload inside a worker, or the no-shared sentinel."""
+    return _NO_SHARED if _SHARED is None else _SHARED[0]
+
+
+def _call_shared(fn: Callable, item: Any) -> Any:
+    """Bare worker call on the shared-payload path (no obs, no faults)."""
+    return fn(get_shared(), item)
+
+
 def _call_worker(payload: tuple) -> Any:
     """Run one fan-out item in a process worker (no obs session).
 
@@ -151,7 +192,7 @@ def _call_worker(payload: tuple) -> Any:
     """
     fn, item, index = payload
     _faults.fault_point("worker", str(index))
-    return fn(item)
+    return _apply(fn, item, _worker_shared())
 
 
 def _call_with_worker_obs(payload: tuple) -> tuple:
@@ -163,8 +204,16 @@ def _call_with_worker_obs(payload: tuple) -> tuple:
     fn, item, index = payload
     _faults.fault_point("worker", str(index))
     with _obs.worker_session() as worker:
-        result = fn(item)
+        result = _apply(fn, item, _worker_shared())
     return result, worker.export()
+
+
+def _payload_bytes(payload: Any) -> int:
+    """Pickled size of one submitted payload (obs accounting only)."""
+    try:
+        return len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:  # pragma: no cover - unpicklable fails later anyway
+        return 0
 
 
 def _collect_batch(
@@ -174,6 +223,7 @@ def _collect_batch(
     workers: int,
     task: Callable | None,
     results: dict[int, Any],
+    shared: Any = _NO_SHARED,
 ) -> None:
     """Run ``indices`` through one process pool, recording into ``results``.
 
@@ -182,15 +232,47 @@ def _collect_batch(
     propagates immediately, while pool breakage is re-raised *after* all
     completed results have been harvested, so the caller retries only the
     genuinely lost items.
+
+    An empty ``indices`` is a no-op — a zero-worker pool would raise
+    ``ValueError``, which used to crash the retry loop when a broken pool
+    had already yielded every result before failing.
+
+    ``shared`` (when given) is shipped to each worker exactly once via the
+    pool initializer, not per task; per-task payloads then carry only
+    ``fn`` and the item.
     """
+    if not indices:
+        return
+    session = _obs._ACTIVE
+    pool_kwargs: dict[str, Any] = {"max_workers": min(workers, len(indices))}
+    if shared is not _NO_SHARED:
+        pool_kwargs.update(initializer=_init_shared, initargs=(shared,))
+        if session is not None:
+            session.add("parallel.shared_bytes", _payload_bytes(shared))
     broken: BrokenExecutor | None = None
-    with ProcessPoolExecutor(max_workers=min(workers, len(indices))) as pool:
-        if task is None:
-            futures = {i: pool.submit(fn, items[i]) for i in indices}
-        else:
-            futures = {
-                i: pool.submit(task, (fn, items[i], i)) for i in indices
-            }
+    with ProcessPoolExecutor(**pool_kwargs) as pool:
+        futures = {}
+        for i in indices:
+            if task is None:
+                if shared is _NO_SHARED:
+                    payload: Any = (fn, items[i])
+                    futures[i] = pool.submit(fn, items[i])
+                else:
+                    payload = (fn, items[i])
+                    futures[i] = pool.submit(_call_shared, fn, items[i])
+            else:
+                payload = (fn, items[i], i)
+                futures[i] = pool.submit(task, payload)
+            if session is not None:
+                # Fan-out cost accounting: bytes pickled per submitted task
+                # (the shared payload is counted once above, not here).
+                nbytes = _payload_bytes(payload)
+                session.add_many(
+                    (
+                        ("parallel.tasks_submitted", 1),
+                        ("parallel.task_bytes", nbytes),
+                    )
+                )
         for i in indices:
             try:
                 results[i] = futures[i].result()
@@ -205,6 +287,7 @@ def _process_map(
     items: Sequence,
     workers: int,
     retry: RetryPolicy | None,
+    shared: Any = _NO_SHARED,
 ) -> list:
     """Process-pool fan-out with transparent retry of broken pools."""
     session = _obs.active()
@@ -220,9 +303,13 @@ def _process_map(
     attempt = 0
     while True:
         try:
-            _collect_batch(fn, items, pending, workers, task, results)
+            _collect_batch(fn, items, pending, workers, task, results, shared)
         except BrokenExecutor as exc:
             failed = [i for i in pending if i not in results]
+            if not failed:
+                # The pool broke at shutdown after every in-flight result
+                # had been harvested — nothing to retry.
+                break
             if retry is None or attempt >= retry.max_retries:
                 raise WorkerCrashError(attempt + 1, len(failed)) from exc
             delay = retry.delay(attempt)
@@ -253,11 +340,12 @@ def _process_map(
 
 
 def parallel_map(
-    fn: Callable[[ItemT], ResultT],
+    fn: Callable[..., ResultT],
     items: Iterable[ItemT],
     n_jobs: int | None = 1,
     executor: ExecutorKind = "process",
     retry: RetryPolicy | None = None,
+    shared: Any = _NO_SHARED,
 ) -> list[ResultT]:
     """Ordered map over ``items`` with optional process/thread fan-out.
 
@@ -273,6 +361,13 @@ def parallel_map(
     exceeding the budget raises :class:`WorkerCrashError`.  Exceptions
     raised by ``fn`` itself are never retried.
 
+    ``shared`` ships one large payload to the workers *once per pool*
+    (via the pool initializer) instead of once per task; ``fn`` is then
+    called as ``fn(shared, item)`` on every path (serial, thread and
+    process), so results are independent of the executor as usual.  The
+    sharded mining layer uses this to pass a candidate-pattern list to
+    every shard-counting task without re-pickling it per shard.
+
     For ``executor="process"``, ``fn`` and the items must be picklable
     (use module-level functions / :func:`functools.partial`).
     """
@@ -287,16 +382,18 @@ def parallel_map(
         )
         workers = 1
     if workers <= 1:
-        return [fn(item) for item in items]
+        return [_apply(fn, item, shared) for item in items]
     if executor == "process":
-        return _process_map(fn, items, workers, retry)
+        return _process_map(fn, items, workers, retry, shared)
     if executor != "thread":
         raise ValueError(f"executor must be 'process' or 'thread', got {executor!r}")
 
     session = _obs.active()
     if session is None:
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(fn, item) for item in items]
+            futures = [
+                pool.submit(_apply, fn, item, shared) for item in items
+            ]
             return [future.result() for future in futures]
 
     parent_id = session.current_span_id()
@@ -304,7 +401,7 @@ def parallel_map(
     # the launching span as their thread's root parent.
     def bound(item: ItemT) -> ResultT:
         with session.thread_context(parent_id):
-            return fn(item)
+            return _apply(fn, item, shared)
 
     with ThreadPoolExecutor(max_workers=workers) as pool:
         futures = [pool.submit(bound, item) for item in items]

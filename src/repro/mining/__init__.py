@@ -5,6 +5,7 @@ from .charm import charm
 from .closed import brute_force_closed, closed_fpgrowth, occurrence_matrix
 from .fpgrowth import fpgrowth
 from .fptree import FPNode, FPTree
+from .condense import deduction_bounds, partition_derivable
 from .generation import (
     filter_by_information_gain,
     mine_class_patterns,
@@ -15,6 +16,7 @@ from .guards import GuardedMiningReport, MiningTimeLimitExceeded, guarded_mine
 from .itemsets import MiningResult, Pattern, PatternBudgetExceeded, canonical
 from .maximal import brute_force_maximal, maximal_frequent
 from .prefixspan import SequencePattern, is_subsequence, prefixspan
+from .sharded import ShardedMiningResult, mine_sharded
 
 __all__ = [
     "apriori",
@@ -34,6 +36,10 @@ __all__ = [
     "mine_class_patterns",
     "recount_supports",
     "filter_by_information_gain",
+    "mine_sharded",
+    "ShardedMiningResult",
+    "deduction_bounds",
+    "partition_derivable",
     "guarded_mine",
     "GuardedMiningReport",
     "MiningTimeLimitExceeded",

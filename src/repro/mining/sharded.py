@@ -1,0 +1,468 @@
+"""Out-of-core per-class mining over mmap shards (SON partition algorithm).
+
+Reproduces :func:`repro.mining.generation.mine_class_patterns` — same
+pattern set, same per-class counts, same merged result — without ever
+holding the dataset in one process.  The classic two-pass partition
+scheme of Savasere/Omiecinski/Navathe, specialized to the paper's
+per-class mining:
+
+1. **Local candidate pass.**  Every (shard, class) cell is mined
+   independently with :func:`~repro.mining.fpgrowth.fpgrowth` at a
+   proportional local threshold ``ceil(abs_c * rows_cell / rows_class)``
+   (pure integer arithmetic — no float fuzz).  Pigeonhole: an itemset
+   reaching the class-global threshold must reach the proportional
+   threshold in at least one shard, so the union of local results is a
+   complete candidate superset.  Workers open their shard via the
+   zero-copy :class:`~repro.core.shards.ShardHandle` — the task pickles a
+   path and three integers, never data.
+2. **Exact counting pass.**  Candidates are counted against every shard
+   (AND-reduce + popcount against the shard's label masks) and the
+   per-shard int64 count vectors are merged order-invariantly (integer
+   addition — the same merge discipline as ``repro.streaming.window``).
+   Counting is level-wise by itemset length so the optional
+   **non-derivable-itemset condensation** (:mod:`repro.mining.condense`)
+   can fill in counts that inclusion-exclusion already determines,
+   shrinking the candidate lists shipped to the count workers.
+
+For ``miner="closed"`` the local pass mines *all* frequent itemsets one
+item longer than ``max_length``; global closedness is then exact: ``I``
+is closed in class ``c`` iff no immediate superset ``I ∪ {o}`` has the
+same class-``c`` count, and every such superset that matters is
+guaranteed to be a candidate (its count equals a frequent itemset's
+count, so it clears the class threshold, so SON surfaces it).
+
+Both passes checkpoint per shard through the content-addressed runtime
+cache (stages ``shard_mine`` / ``shard_count``, keyed by the shard's
+content hash plus the full configuration), so a killed run resumes
+byte-identically — the property the fault-injection suite pins.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Literal
+
+import numpy as np
+
+from ..core.bitset import popcount
+from ..core.parallel import RetryPolicy, parallel_map, resolve_n_jobs
+from ..core.shards import ShardHandle, ShardSet
+from ..obs import core as _obs
+from ..testing import faults as _faults
+from .condense import partition_derivable
+from .fpgrowth import fpgrowth
+from .itemsets import MiningResult, Pattern, PatternBudgetExceeded
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.cache import ArtifactCache
+
+__all__ = ["ShardedMiningResult", "mine_sharded", "local_threshold"]
+
+MinerName = Literal["closed", "all"]
+GuardBehavior = Literal["raise", "items_only"]
+
+#: Cache stage names for the two passes' per-shard artifacts.
+MINE_STAGE = "shard_mine"
+COUNT_STAGE = "shard_count"
+
+
+class ShardedMiningResult(MiningResult):
+    """A :class:`MiningResult` that also carries exact per-class counts.
+
+    ``class_counts[p.items]`` is the tuple of per-class absolute supports
+    of each returned pattern — the sufficient statistics the counting
+    pass produced anyway, exposed so downstream consumers (contingency
+    scoring, naive-Bayes-from-stats training) can skip a full-dataset
+    recount.
+    """
+
+    def __init__(
+        self,
+        patterns,
+        min_support: int,
+        n_rows: int,
+        class_counts: dict[tuple[int, ...], tuple[int, ...]],
+    ) -> None:
+        super().__init__(patterns, min_support=min_support, n_rows=n_rows)
+        self.class_counts = class_counts
+
+
+def local_threshold(global_absolute: int, local_rows: int, total_rows: int) -> int:
+    """Per-shard SON threshold: ``ceil(abs * local / total)``, at least 1.
+
+    Integer arithmetic throughout.  Soundness: if an itemset's count is
+    below this in *every* shard, summing ``count_i <= ceil(x_i) - 1 < x_i``
+    over shards gives a total strictly below ``global_absolute`` — so
+    every globally frequent itemset is locally frequent somewhere.
+    """
+    if total_rows <= 0:
+        return 1
+    return max(1, -(-global_absolute * local_rows // total_rows))
+
+
+def _mine_cell(job: tuple) -> dict:
+    """Local pass worker: mine one (shard, class) cell.
+
+    Module-level and fed a tiny tuple — the shard itself is opened
+    zero-copy inside the worker via the handle.
+    """
+    shard_index, label, handle, local_abs, max_length = job
+    _faults.fault_point("shard", f"mine:{shard_index}:{label}")
+    transactions = handle.class_transactions(label)
+    with _obs.span(
+        "mining.sharded.local",
+        shard=shard_index,
+        label=label,
+        rows=len(transactions),
+        min_support=local_abs,
+    ) as span:
+        # Deliberately unbudgeted: for closed mining this pass enumerates
+        # *all* frequent itemsets (the closed reconstruction needs them),
+        # so ``max_patterns`` — a contract on the number of *result*
+        # patterns — would meter the wrong quantity and trip on cells the
+        # batch path happily mines.  The budget is enforced exactly at
+        # the global assembly instead; local enumeration is bounded by
+        # the shard's content and observable via the candidates counter.
+        result = fpgrowth(
+            transactions,
+            min_support=local_abs,
+            max_length=max_length,
+        )
+        span.set(candidates=len(result.patterns))
+    return {"itemsets": [list(p.items) for p in result.patterns]}
+
+
+def _count_shard(candidates: list, job: tuple) -> list[list[int]]:
+    """Counting pass worker: exact per-class counts of every candidate.
+
+    ``candidates`` arrives as the pool's *shared* payload — pickled once
+    per pool, not once per shard task.  Returns plain int lists so the
+    result is JSON-checkpointable as-is.
+    """
+    shard_index, handle = job
+    _faults.fault_point("shard", f"count:{shard_index}")
+    item_bits = handle.item_bits()
+    label_words = np.asarray(handle.label_words())
+    out = np.zeros((len(candidates), handle.n_classes), dtype=np.int64)
+    with _obs.span(
+        "mining.sharded.count", shard=shard_index, candidates=len(candidates)
+    ):
+        for row, items in enumerate(candidates):
+            cover = item_bits.and_reduce(items)
+            out[row] = popcount(label_words & cover)
+    return out.tolist()
+
+
+def _mine_key(
+    handle: ShardHandle,
+    label: int,
+    local_abs: int,
+    max_length: int | None,
+) -> str:
+    from ..runtime.cache import fingerprint
+
+    return fingerprint(
+        stage=MINE_STAGE,
+        shard=handle.sha256,
+        label=int(label),
+        min_support=int(local_abs),
+        max_length=max_length,
+    )
+
+
+def _count_key(handle: ShardHandle, candidates: list[tuple[int, ...]]) -> str:
+    from ..runtime.cache import content_key, fingerprint
+
+    return fingerprint(
+        stage=COUNT_STAGE,
+        shard=handle.sha256,
+        candidates=content_key([list(items) for items in candidates]),
+    )
+
+
+def mine_sharded(
+    shards: ShardSet,
+    min_support: float,
+    miner: MinerName = "closed",
+    min_length: int = 2,
+    max_length: int | None = None,
+    max_patterns: int | None = None,
+    n_jobs: int | None = 1,
+    retry: RetryPolicy | None = None,
+    cache: "ArtifactCache | None" = None,
+    condense: bool = False,
+    on_guard: GuardBehavior = "raise",
+) -> ShardedMiningResult:
+    """Mine per-class frequent patterns out-of-core over ``shards``.
+
+    The parameters mirror
+    :func:`~repro.mining.generation.mine_class_patterns` and the result
+    is property-tested equal to it (pattern set, supports, per-class
+    counts) — ``shards`` is just where the rows live.  ``condense=True``
+    enables the non-derivable-itemset reducer; the result is unchanged
+    (deduced counts are exact), only the cross-shard exchange shrinks.
+
+    ``max_patterns`` is enforced with the batch path's *exact* trip
+    conditions — a per-class check against the globally frequent pattern
+    count (the quantity the batch miner's enumeration budget meters) and
+    a merged-union check — so budget trips and ``items_only``
+    degradations are reproduced class for class.  The local candidate
+    pass itself is unbudgeted: it enumerates a different quantity (all
+    locally frequent itemsets at a proportional threshold), so metering
+    it with the result budget would trip on cells the batch path
+    happily mines.
+    """
+    if not 0.0 < min_support <= 1.0:
+        raise ValueError("min_support is relative and must be in (0, 1]")
+    if miner not in ("closed", "all"):
+        raise KeyError(miner)
+    if on_guard not in ("raise", "items_only"):
+        raise ValueError(f"on_guard must be 'raise' or 'items_only', got {on_guard!r}")
+
+    with _obs.span(
+        "mining.sharded",
+        dataset=shards.name,
+        shards=len(shards),
+        miner=miner,
+        min_support=min_support,
+        condense=condense,
+        n_jobs=n_jobs if n_jobs is not None else 1,
+    ) as span:
+        class_totals = shards.class_totals()
+        # Per-class global thresholds: the exact expression the batch path
+        # uses (including its float-ceil quirks) — differential equality
+        # demands bit-equal thresholds, not mathematically-equal ones.
+        absolute = {
+            c: max(1, int(-(-min_support * int(n_c) // 1)))
+            for c, n_c in enumerate(class_totals)
+            if n_c > 0
+        }
+        # Closed mining needs immediate supersets one longer than the cap
+        # to decide closedness of the longest returned patterns.
+        local_max_length = (
+            max_length + 1
+            if (miner == "closed" and max_length is not None)
+            else max_length
+        )
+
+        # ---- pass 1: local per-(shard, class) candidate mining --------
+        jobs: list[tuple] = []
+        for shard_index, handle in enumerate(shards.handles):
+            cell_rows = handle.class_counts()
+            for label in sorted(absolute):
+                if cell_rows[label] == 0:
+                    continue
+                jobs.append(
+                    (
+                        shard_index,
+                        label,
+                        handle,
+                        local_threshold(
+                            absolute[label],
+                            int(cell_rows[label]),
+                            int(class_totals[label]),
+                        ),
+                        local_max_length,
+                    )
+                )
+
+        mined: list[dict | None] = [None] * len(jobs)
+        keys: list[str | None] = [None] * len(jobs)
+        misses = list(range(len(jobs)))
+        if cache is not None:
+            misses = []
+            for i, job in enumerate(jobs):
+                keys[i] = _mine_key(job[2], job[1], job[3], job[4])
+                payload = cache.get(MINE_STAGE, keys[i])
+                if payload is not None:
+                    mined[i] = payload
+                    _obs.event(
+                        "stage_skipped",
+                        f"shard {job[0]} class {job[1]}: restored local "
+                        "candidates from cache",
+                        stage=MINE_STAGE,
+                        shard=int(job[0]),
+                        partition=int(job[1]),
+                    )
+                else:
+                    misses.append(i)
+
+        def checkpoint_mine(i: int, outcome: dict) -> None:
+            if cache is not None:
+                cache.put(MINE_STAGE, keys[i], outcome)
+
+        if len(misses) <= 1 or resolve_n_jobs(n_jobs) <= 1:
+            for i in misses:
+                mined[i] = _mine_cell(jobs[i])
+                checkpoint_mine(i, mined[i])
+        else:
+            outcomes = parallel_map(
+                _mine_cell,
+                [jobs[i] for i in misses],
+                n_jobs=n_jobs,
+                executor="process",
+                retry=retry,
+            )
+            for i, outcome in zip(misses, outcomes):
+                mined[i] = outcome
+                checkpoint_mine(i, outcome)
+
+        degraded_classes: set[int] = set()
+        candidates: set[tuple[int, ...]] = set()
+        for outcome in mined:
+            assert outcome is not None
+            candidates.update(tuple(items) for items in outcome["itemsets"])
+        span.set(local_jobs=len(jobs), candidates=len(candidates))
+        _obs.add("mining.sharded.local_jobs", len(jobs))
+        _obs.add("mining.sharded.candidates", len(candidates))
+
+        # ---- pass 2: level-wise exact global counting -----------------
+        counts: dict[tuple[int, ...], np.ndarray] = {
+            (): class_totals.astype(np.int64)
+        }
+        by_length: dict[int, list[tuple[int, ...]]] = {}
+        for items in candidates:
+            by_length.setdefault(len(items), []).append(items)
+
+        counted = 0
+        shard_jobs = list(enumerate(shards.handles))
+        for length in sorted(by_length):
+            level = sorted(by_length[length])
+            if condense:
+                derived, level = partition_derivable(level, counts.__getitem__)
+                counts.update(derived)
+            if not level:
+                continue
+            counted += len(level)
+            level_totals = np.zeros(
+                (len(level), shards.n_classes), dtype=np.int64
+            )
+            count_keys: list[str | None] = [None] * len(shard_jobs)
+            count_misses = list(range(len(shard_jobs)))
+            if cache is not None:
+                count_misses = []
+                for j, (shard_index, handle) in enumerate(shard_jobs):
+                    count_keys[j] = _count_key(handle, level)
+                    payload = cache.get(COUNT_STAGE, count_keys[j])
+                    if payload is not None:
+                        level_totals += np.asarray(
+                            payload["counts"], dtype=np.int64
+                        )
+                        _obs.event(
+                            "stage_skipped",
+                            f"shard {shard_index}: restored length-{length} "
+                            "candidate counts from cache",
+                            stage=COUNT_STAGE,
+                            shard=int(shard_index),
+                        )
+                    else:
+                        count_misses.append(j)
+
+            def checkpoint_count(j: int, rows: list[list[int]]) -> None:
+                if cache is not None:
+                    cache.put(COUNT_STAGE, count_keys[j], {"counts": rows})
+
+            if len(count_misses) <= 1 or resolve_n_jobs(n_jobs) <= 1:
+                for j in count_misses:
+                    rows = _count_shard(level, shard_jobs[j])
+                    checkpoint_count(j, rows)
+                    level_totals += np.asarray(rows, dtype=np.int64)
+            else:
+                outcomes = parallel_map(
+                    _count_shard,
+                    [shard_jobs[j] for j in count_misses],
+                    n_jobs=n_jobs,
+                    executor="process",
+                    retry=retry,
+                    shared=level,
+                )
+                for j, rows in zip(count_misses, outcomes):
+                    checkpoint_count(j, rows)
+                    level_totals += np.asarray(rows, dtype=np.int64)
+
+            for row, items in enumerate(level):
+                counts[items] = level_totals[row]
+        span.set(counted_candidates=counted)
+        _obs.add("mining.sharded.counted_candidates", counted)
+
+        # ---- assembly: thresholds, closedness, budget, merge ----------
+        nonclosed: dict[int, set[tuple[int, ...]]] = {c: set() for c in absolute}
+        if miner == "closed":
+            for items, vec in counts.items():
+                if len(items) < 2:
+                    continue
+                for position in range(len(items)):
+                    subset = items[:position] + items[position + 1 :]
+                    parent = counts.get(subset)
+                    if parent is None:
+                        continue
+                    for c in absolute:
+                        if vec[c] == parent[c]:
+                            nonclosed[c].add(subset)
+
+        merged: set[tuple[int, ...]] = set()
+        per_class_patterns: dict[int, int] = {}
+        for c in sorted(absolute):
+            if c in degraded_classes:
+                continue
+            class_patterns = [
+                items
+                for items, vec in counts.items()
+                if items
+                and int(vec[c]) >= absolute[c]
+                and (max_length is None or len(items) <= max_length)
+                and (miner != "closed" or items not in nonclosed[c])
+            ]
+            per_class_patterns[c] = len(class_patterns)
+            if max_patterns is not None and len(class_patterns) > max_patterns:
+                if on_guard != "items_only":
+                    raise PatternBudgetExceeded(max_patterns, len(class_patterns))
+                degraded_classes.add(c)
+                _obs.warn(
+                    f"class {c}: {len(class_patterns)} patterns exceed the "
+                    f"budget of {max_patterns}; degrading class {c} to "
+                    "items-only",
+                    partition=int(c),
+                    guard="budget",
+                )
+                continue
+            merged.update(
+                items for items in class_patterns if len(items) >= min_length
+            )
+
+        if max_patterns is not None and len(merged) > max_patterns:
+            if on_guard == "raise":
+                raise PatternBudgetExceeded(max_patterns, len(merged))
+            _obs.warn(
+                f"merged pattern union ({len(merged)}) exceeds the budget of "
+                f"{max_patterns}; keeping the first {max_patterns} in "
+                "canonical order",
+                guard="budget",
+                merged=len(merged),
+                budget=max_patterns,
+            )
+            merged = set(sorted(merged)[:max_patterns])
+
+        final = sorted(merged)
+        patterns = [
+            Pattern(items=items, support=int(counts[items].sum()))
+            for items in final
+        ]
+        patterns.sort(key=lambda p: (p.length, p.items))
+        class_counts = {
+            items: tuple(int(v) for v in counts[items]) for items in final
+        }
+        span.set(
+            merged_patterns=len(patterns),
+            degraded_classes=len(degraded_classes),
+        )
+        _obs.add("mining.sharded.merged_patterns", len(patterns))
+        if degraded_classes:
+            _obs.add("mining.sharded.degraded_classes", len(degraded_classes))
+
+    global_absolute = max(1, int(round(min_support * shards.n_rows)))
+    return ShardedMiningResult(
+        patterns,
+        min_support=global_absolute,
+        n_rows=shards.n_rows,
+        class_counts=class_counts,
+    )

@@ -104,6 +104,12 @@ class ExperimentSpec:
     folds: int = 3
     seed: int = 0
     time_limit: float | None = None
+    #: Rows per mmap shard for out-of-core mining; ``None`` keeps the
+    #: in-memory batch path.  The two paths produce identical artifacts
+    #: (property-tested), so this is purely a memory/scale knob.
+    shard_rows: int | None = None
+    #: Non-derivable-itemset condensation for the sharded counting pass.
+    condense: bool = False
 
 
 @dataclass
@@ -259,19 +265,43 @@ def run_experiment(
         resumed=resume,
     ):
         # -- stage 1: per-class mining (partition-level checkpoints) ----
-        mined = mine_class_patterns(
-            data,
-            min_support=spec.min_support,
-            miner=spec.miner,
-            min_length=spec.min_length,
-            max_length=spec.max_length,
-            max_patterns=spec.max_patterns,
-            n_jobs=n_jobs,
-            retry=retry,
-            cache=cache,
-            on_guard="items_only",
-            time_limit=spec.time_limit,
-        )
+        if spec.shard_rows is not None:
+            # Out-of-core path: rows live in mmap shard files opened
+            # zero-copy by the workers; per-shard artifacts go through
+            # the same cache, so resume semantics are unchanged.
+            from ..core.shards import shard_dataset
+            from ..mining.sharded import mine_sharded
+
+            shard_set = shard_dataset(
+                data, out_dir / "shards", shard_rows=spec.shard_rows
+            )
+            mined = mine_sharded(
+                shard_set,
+                min_support=spec.min_support,
+                miner=spec.miner,
+                min_length=spec.min_length,
+                max_length=spec.max_length,
+                max_patterns=spec.max_patterns,
+                n_jobs=n_jobs,
+                retry=retry,
+                cache=cache,
+                condense=spec.condense,
+                on_guard="items_only",
+            )
+        else:
+            mined = mine_class_patterns(
+                data,
+                min_support=spec.min_support,
+                miner=spec.miner,
+                min_length=spec.min_length,
+                max_length=spec.max_length,
+                max_patterns=spec.max_patterns,
+                n_jobs=n_jobs,
+                retry=retry,
+                cache=cache,
+                on_guard="items_only",
+                time_limit=spec.time_limit,
+            )
         save_patterns(mined, out_dir / "patterns.json", catalog=data.catalog)
         _faults.fault_point("stage", "mine")
 
