@@ -1,0 +1,106 @@
+"""Diagnosis at corpus scale: ≥100k synthetic sessions under budget.
+
+The acceptance criterion for self-diagnosing telemetry: the synthetic
+generator plus ``diagnose_corpus`` must chew through a 100k-session
+corpus inside fixed wall-clock and RSS budgets *and still* rank the
+injected slow-span motif top-1.  The point runs in a fresh subprocess so
+``ru_maxrss`` measures this workload, not the pytest process.
+
+Session count scales via ``REPRO_DIAGNOSE_BENCH_SESSIONS`` (default
+100_000, the acceptance floor).  Writes ``BENCH_diagnose.json`` and
+appends ``diagnose.wall_s`` to the trend store for ``repro bench check``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+DEFAULT_SESSIONS = 100_000
+SEED = 7
+WALL_BUDGET_S = 120.0
+RSS_BUDGET_BYTES = 2_500 * 2**20
+
+_REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_diagnose.json"
+
+_CHILD = r"""
+import json, resource, sys, time
+
+sys.path.insert(0, sys.argv[1])
+from repro.obs.diagnose import DiagnosisConfig, diagnose_corpus, label_corpus
+from repro.obs.synth import default_config, generate_sessions
+
+n_sessions, seed = int(sys.argv[2]), int(sys.argv[3])
+
+start = time.perf_counter()
+corpus = generate_sessions(default_config(n_sessions, seed=seed))
+generate_wall = time.perf_counter() - start
+
+config = DiagnosisConfig()
+start = time.perf_counter()
+labels, class_names = label_corpus(corpus, config)
+report = diagnose_corpus(corpus, labels, class_names, config)
+diagnose_wall = time.perf_counter() - start
+
+top = report.top
+print(json.dumps({
+    "sessions": n_sessions,
+    "vocabulary": len(corpus.vocabulary),
+    "candidates": report.n_candidates,
+    "generate_wall_s": generate_wall,
+    "diagnose_wall_s": diagnose_wall,
+    "rss_bytes": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024,
+    "top_items": top["items"] if top else [],
+    "top_class": top["majority_class"] if top else None,
+}))
+"""
+
+
+def _n_sessions() -> int:
+    override = os.environ.get("REPRO_DIAGNOSE_BENCH_SESSIONS")
+    return int(override) if override else DEFAULT_SESSIONS
+
+
+def test_diagnose_100k_sessions_under_budget(tmp_path, report_lines, trend):
+    n_sessions = _n_sessions()
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD, src, str(n_sessions), str(SEED)],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    point = json.loads(proc.stdout.strip().splitlines()[-1])
+
+    wall = point["generate_wall_s"] + point["diagnose_wall_s"]
+    report_lines.append(
+        f"diagnose: {point['sessions']:>9,} sessions  "
+        f"generate {point['generate_wall_s']:6.2f}s  "
+        f"diagnose {point['diagnose_wall_s']:6.2f}s  "
+        f"rss {point['rss_bytes'] / 2**20:7.1f} MB  "
+        f"vocab {point['vocabulary']}"
+    )
+
+    # Recall at scale: the injected slow-generate motif is still top-1.
+    assert point["top_class"] == "slow", point
+    assert any(
+        "mining.generate" in item for item in point["top_items"]
+    ), point["top_items"]
+
+    assert wall < WALL_BUDGET_S, (
+        f"generate+diagnose took {wall:.1f}s over a {WALL_BUDGET_S:.0f}s budget"
+    )
+    assert point["rss_bytes"] < RSS_BUDGET_BYTES, (
+        f"peak RSS {point['rss_bytes'] / 2**20:.0f} MB exceeds the "
+        f"{RSS_BUDGET_BYTES / 2**20:.0f} MB budget"
+    )
+
+    _REPORT_PATH.write_text(json.dumps({"point": point}, indent=2) + "\n")
+    trend(
+        "diagnose.wall_s",
+        point["diagnose_wall_s"],
+        meta={"sessions": point["sessions"], "rss_bytes": point["rss_bytes"]},
+    )

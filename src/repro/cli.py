@@ -20,7 +20,15 @@ Commands
 ``trace diff`` / ``trace top``
     Compare two traces phase-by-phase (wall/CPU/RSS deltas against a
     noise threshold), or rank one trace's self-time hotspots.  Both
-    support ``--json`` for machine-readable output.
+    support ``--json`` for machine-readable output; ``trace diff
+    --explain`` additionally mines the base-vs-candidate span
+    populations and names the pattern that discriminates them.
+``diagnose``
+    Sessionize trace files (or a seeded synthetic corpus) into
+    transactions of span/duration/config/event items, label them
+    slow/fast or failed/clean, and rank the patterns that discriminate
+    the classes by information gain — the paper's pipeline pointed at
+    the system's own telemetry.
 ``bench check``
     Evaluate the benchmark trend store (``benchmarks/history/``) against
     the gating config; exits non-zero on a regression so CI can block.
@@ -323,10 +331,29 @@ def _cmd_trace_diff(args: argparse.Namespace) -> int:
         rel_tolerance=args.rel_tolerance,
         abs_floor_s=args.abs_floor,
     )
+    explanation = explain_note = None
+    if getattr(args, "explain", False):
+        from .obs.diagnose import explain_diff
+
+        try:
+            explanation = explain_diff(base, other)
+        except ValueError as exc:
+            explain_note = str(exc)
     if args.json:
+        if explanation is not None:
+            diff["explain"] = explanation.to_json()
+        elif explain_note is not None:
+            diff["explain"] = {"error": explain_note}
         print(json.dumps(diff, indent=2, sort_keys=True))
     else:
         print(render_diff(diff))
+        if explanation is not None:
+            print()
+            print("discriminating patterns (base vs candidate):")
+            print(explanation.render())
+        elif explain_note is not None:
+            print()
+            print(f"explain unavailable: {explain_note}")
     return 1 if diff["summary"]["regressed"] else 0
 
 
@@ -343,6 +370,70 @@ def _cmd_trace_top(args: argparse.Namespace) -> int:
         print(json.dumps(ranked, indent=2, sort_keys=True))
     else:
         print(render_top(ranked))
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.diagnose import DiagnosisConfig, diagnose_corpus, label_corpus
+    from .obs.schema import validate_file
+    from .obs.sessions import sessionize_traces
+
+    config = DiagnosisConfig(
+        min_support=args.min_support,
+        max_length=args.max_length,
+        top=args.top,
+        delta=args.delta,
+        sequences=args.sequences,
+        label=args.label,
+        quantile=args.quantile,
+    )
+    if args.synthetic:
+        from .obs.synth import SynthConfig, default_config, generate_sessions
+
+        if args.synthetic_config:
+            config_path = Path(args.synthetic_config)
+            if not config_path.exists():
+                print(
+                    f"no such synthetic config: {config_path}", file=sys.stderr
+                )
+                return EXIT_MISSING_INPUT
+            synth = SynthConfig.from_dict(
+                json.loads(config_path.read_text(encoding="utf-8")),
+                n_sessions=args.synthetic,
+                seed=args.seed,
+            )
+        else:
+            synth = default_config(n_sessions=args.synthetic, seed=args.seed)
+        corpus = generate_sessions(synth)
+    else:
+        paths = sorted(args.traces, key=str)
+        for path_arg in paths:
+            path = Path(path_arg)
+            if not path.exists():
+                print(f"no such trace file: {path}", file=sys.stderr)
+                return EXIT_MISSING_INPUT
+            errors = validate_file(path)
+            if errors:
+                print(
+                    f"{path}: {len(errors)} schema violation(s)",
+                    file=sys.stderr,
+                )
+                for error in errors:
+                    print(f"  {error}", file=sys.stderr)
+                return EXIT_SCHEMA_INVALID
+        corpus = sessionize_traces(paths)
+    try:
+        labels, class_names = label_corpus(corpus, config)
+        report = diagnose_corpus(corpus, labels, class_names, config)
+    except ValueError as exc:
+        print(f"diagnosis failed: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
     return 0
 
 
@@ -961,6 +1052,11 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument(
         "--json", action="store_true", help="emit the diff as JSON"
     )
+    diff.add_argument(
+        "--explain", action="store_true",
+        help="mine the base-vs-candidate span populations and name the "
+             "pattern that discriminates them",
+    )
     diff.set_defaults(handler=_cmd_trace_diff)
 
     top = trace_sub.add_parser(
@@ -974,6 +1070,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the ranking as JSON"
     )
     top.set_defaults(handler=_cmd_trace_top)
+
+    diagnose = commands.add_parser(
+        "diagnose",
+        help="mine discriminative patterns from the system's own traces",
+    )
+    source = diagnose.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--traces", nargs="+", metavar="FILE",
+        help="trace JSONL files to sessionize (pipeline --trace output "
+             "and serving event logs both work)",
+    )
+    source.add_argument(
+        "--synthetic", type=int, metavar="N",
+        help="generate N synthetic sessions instead of reading traces",
+    )
+    diagnose.add_argument(
+        "--synthetic-config", default=None, metavar="FILE",
+        dest="synthetic_config",
+        help="JSON persona/motif config for --synthetic "
+             "(default: built-in workload mix)",
+    )
+    diagnose.add_argument("--seed", type=int, default=0,
+                          help="synthetic generator seed")
+    diagnose.add_argument(
+        "--label", choices=("wall", "failure"), default="wall",
+        help="labeler: slow/fast by wall-time quantile, or failed/clean "
+             "by error signals",
+    )
+    diagnose.add_argument(
+        "--quantile", type=float, default=0.75,
+        help="wall-time quantile above which a session is 'slow' "
+             "(default: 0.75)",
+    )
+    diagnose.add_argument("--min-support", type=float, default=0.05,
+                          dest="min_support")
+    diagnose.add_argument(
+        "--max-length", type=int, default=None, dest="max_length",
+        help="cap pattern length (default: uncapped, lossless closed "
+             "mining)",
+    )
+    diagnose.add_argument(
+        "--sequences", action="store_true",
+        help="mine discriminative subsequences (prefixspan) instead of "
+             "itemsets",
+    )
+    diagnose.add_argument("--delta", type=int, default=1,
+                          help="MMRFS coverage delta")
+    diagnose.add_argument("--top", type=int, default=10,
+                          help="patterns to report")
+    diagnose.add_argument("--json", action="store_true",
+                          help="emit the report as JSON")
+    add_trace(diagnose)
+    diagnose.set_defaults(handler=_cmd_diagnose)
 
     bench = commands.add_parser(
         "bench", help="benchmark trend store utilities"

@@ -39,6 +39,7 @@ byte-identically — the property the fault-injection suite pins.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Literal
 
 import numpy as np
@@ -265,6 +266,26 @@ def mine_sharded(
                     )
                 )
 
+        # Progress heartbeats: a long sharded run is otherwise silent
+        # until the final rollup, so both passes publish done/total
+        # counters plus an ETA series through the obs channel.  Work
+        # units are pass-1 cells and pass-2 (level, shard) count jobs.
+        progress_started = time.perf_counter()
+        work_done = 0
+        work_total = len(jobs)
+        _obs.add("progress.mine_sharded.shards_total", len(shards))
+        _obs.add("progress.mine_sharded.rows_total", int(shards.n_rows))
+        _obs.add("progress.mine_sharded.cells_total", len(jobs))
+
+        def heartbeat() -> None:
+            if work_done <= 0 or work_total <= 0:
+                return
+            elapsed = time.perf_counter() - progress_started
+            _obs.record(
+                "progress.mine_sharded.eta_s",
+                elapsed * (work_total - work_done) / work_done,
+            )
+
         mined: list[dict | None] = [None] * len(jobs)
         keys: list[str | None] = [None] * len(jobs)
         misses = list(range(len(jobs)))
@@ -290,10 +311,17 @@ def mine_sharded(
             if cache is not None:
                 cache.put(MINE_STAGE, keys[i], outcome)
 
+        restored = len(jobs) - len(misses)
+        if restored:
+            work_done += restored
+            _obs.add("progress.mine_sharded.cells_done", restored)
         if len(misses) <= 1 or resolve_n_jobs(n_jobs) <= 1:
             for i in misses:
                 mined[i] = _mine_cell(jobs[i])
                 checkpoint_mine(i, mined[i])
+                work_done += 1
+                _obs.add("progress.mine_sharded.cells_done")
+                heartbeat()
         else:
             outcomes = parallel_map(
                 _mine_cell,
@@ -305,6 +333,9 @@ def mine_sharded(
             for i, outcome in zip(misses, outcomes):
                 mined[i] = outcome
                 checkpoint_mine(i, outcome)
+            work_done += len(misses)
+            _obs.add("progress.mine_sharded.cells_done", len(misses))
+            heartbeat()
 
         degraded_classes: set[int] = set()
         candidates: set[tuple[int, ...]] = set()
@@ -333,6 +364,10 @@ def mine_sharded(
             if not level:
                 continue
             counted += len(level)
+            work_total += len(shard_jobs)
+            _obs.add(
+                "progress.mine_sharded.count_shards_total", len(shard_jobs)
+            )
             level_totals = np.zeros(
                 (len(level), shards.n_classes), dtype=np.int64
             )
@@ -361,11 +396,18 @@ def mine_sharded(
                 if cache is not None:
                     cache.put(COUNT_STAGE, count_keys[j], {"counts": rows})
 
+            restored = len(shard_jobs) - len(count_misses)
+            if restored:
+                work_done += restored
+                _obs.add("progress.mine_sharded.count_shards_done", restored)
             if len(count_misses) <= 1 or resolve_n_jobs(n_jobs) <= 1:
                 for j in count_misses:
                     rows = _count_shard(level, shard_jobs[j])
                     checkpoint_count(j, rows)
                     level_totals += np.asarray(rows, dtype=np.int64)
+                    work_done += 1
+                    _obs.add("progress.mine_sharded.count_shards_done")
+                    heartbeat()
             else:
                 outcomes = parallel_map(
                     _count_shard,
@@ -378,6 +420,12 @@ def mine_sharded(
                 for j, rows in zip(count_misses, outcomes):
                     checkpoint_count(j, rows)
                     level_totals += np.asarray(rows, dtype=np.int64)
+                work_done += len(count_misses)
+                _obs.add(
+                    "progress.mine_sharded.count_shards_done",
+                    len(count_misses),
+                )
+                heartbeat()
 
             for row, items in enumerate(level):
                 counts[items] = level_totals[row]

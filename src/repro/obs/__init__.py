@@ -35,6 +35,13 @@ and the manifest fields.
 
 from .analysis import aggregate_paths, diff_traces, top_paths
 from .bench import append_record, check_regressions, load_history
+from .diagnose import (
+    DiagnosisConfig,
+    DiagnosisReport,
+    diagnose_corpus,
+    diagnose_traces,
+    explain_diff,
+)
 from .core import (
     ObsSession,
     active,
@@ -52,6 +59,16 @@ from .live import SloMonitor, SloRule, WindowedCounter, WindowedHistogram
 from .manifest import build_manifest, git_sha
 from .metrics import Histogram
 from .report import TraceData, load_trace, render_report
+from .sessions import (
+    Session,
+    SessionCorpus,
+    SessionizerConfig,
+    label_by_failure,
+    label_by_quantile,
+    sessionize_trace,
+    sessionize_traces,
+)
+from .synth import Motif, Persona, SynthConfig, default_config, generate_sessions
 from .schema import (
     SCHEMA_VERSION,
     SUPPORTED_VERSIONS,
@@ -62,10 +79,18 @@ from .schema import (
 __all__ = [
     "SCHEMA_VERSION",
     "SUPPORTED_VERSIONS",
+    "DiagnosisConfig",
+    "DiagnosisReport",
     "Histogram",
+    "Motif",
     "ObsSession",
+    "Persona",
+    "Session",
+    "SessionCorpus",
+    "SessionizerConfig",
     "SloMonitor",
     "SloRule",
+    "SynthConfig",
     "TraceData",
     "WindowedCounter",
     "WindowedHistogram",
@@ -75,9 +100,16 @@ __all__ = [
     "append_record",
     "build_manifest",
     "check_regressions",
+    "default_config",
+    "diagnose_corpus",
+    "diagnose_traces",
     "diff_traces",
     "event",
+    "explain_diff",
+    "generate_sessions",
     "git_sha",
+    "label_by_failure",
+    "label_by_quantile",
     "load_history",
     "load_trace",
     "observe",
@@ -85,6 +117,8 @@ __all__ = [
     "record",
     "render_report",
     "session",
+    "sessionize_trace",
+    "sessionize_traces",
     "span",
     "top_paths",
     "trace_lines",

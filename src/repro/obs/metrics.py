@@ -35,10 +35,13 @@ from __future__ import annotations
 import math
 from typing import Any, Iterable
 
-__all__ = ["Histogram", "DEFAULT_SUBDIV", "QUANTILES"]
+__all__ = ["Histogram", "DEFAULT_SUBDIV", "QUANTILES", "ZERO_BUCKET_LABEL"]
 
 #: Sub-buckets per power of two; growth factor is ``2 ** (1 / subdiv)``.
 DEFAULT_SUBDIV = 8
+
+#: Label of the dedicated bucket for observations ``<= 0``.
+ZERO_BUCKET_LABEL = "zero"
 
 #: The quantiles every rollup reports, in (label, q) form.
 QUANTILES = (("p50", 0.50), ("p90", 0.90), ("p99", 0.99))
@@ -71,6 +74,36 @@ class Histogram:
     def bucket_index(self, value: float) -> int:
         """The fixed bucket index of a positive value."""
         return math.ceil(self.subdiv * math.log2(value))
+
+    def bucket_edges(self, index: int) -> tuple[float, float]:
+        """The ``(low, high]`` edges of the bucket with this index.
+
+        Inverse of :meth:`bucket_index` in the round-trip sense: for any
+        positive ``v``, ``low < v <= high`` where ``low, high =
+        bucket_edges(bucket_index(v))``.
+        """
+        return (
+            2.0 ** ((index - 1) / self.subdiv),
+            2.0 ** (index / self.subdiv),
+        )
+
+    def bucket_label(self, value: float) -> str:
+        """A stable symbolic name for the bucket ``value`` falls into.
+
+        The supported way to turn a numeric latency into a categorical
+        item (featurization, session mining): every value in a bucket
+        maps to the same label, adjacent buckets map to distinct labels,
+        and the label is a pure function of the layout — two histograms
+        with the same ``subdiv`` agree on it.  Values ``<= 0`` map to
+        :data:`ZERO_BUCKET_LABEL`; NaN is rejected.
+        """
+        value = float(value)
+        if math.isnan(value):
+            raise ValueError("cannot label NaN")
+        if value <= 0.0:
+            return ZERO_BUCKET_LABEL
+        _, high = self.bucket_edges(self.bucket_index(value))
+        return f"le{high:.6g}"
 
     def observe(self, value: float) -> None:
         """Record one observation (NaN is ignored, negatives clamp to 0)."""

@@ -1,0 +1,522 @@
+"""Sessionize traces into transactions of multi-level symbolic items.
+
+The bridge between the observability exhaust and the mining engine:
+every schema-v1/v2 JSONL trace the system writes — pipeline runs traced
+with ``--trace``, serving request logs from
+:class:`~repro.serving.telemetry.TraceEventLog` — becomes one or more
+*sessions*, each a transaction of categorical items ready for
+discriminative pattern mining (:mod:`repro.obs.diagnose`).
+
+Item vocabulary (all plain strings, stable across runs):
+
+``span:<path>``
+    Hierarchical span-path symbols with a concept hierarchy along the
+    dotted name: a ``mining.generate`` span contributes both
+    ``span:mining`` and ``span:mining.generate``, so patterns can match
+    at whichever level discriminates.
+``dur:<name>:<bucket>`` / ``dur:<name>:ge<threshold>``
+    Duration-bucket items — the per-span-name total wall time mapped
+    through the fixed log-bucket layout of
+    :meth:`repro.obs.metrics.Histogram.bucket_label`, turning numeric
+    latencies into symbols (hybrid numeric+symbolic items).  Alongside
+    the exact bucket, cumulative ``ge`` items mark every power-of-two
+    threshold the value clears (a bounded window of
+    :data:`DURATION_GE_LEVELS`), the standard quantitative-itemset
+    encoding: two observations that straddle a bucket edge still share
+    every threshold item below both, so a slowed span's population is
+    never split by the bucketing.
+``cfg:<key>=<value>``
+    Scalar manifest config flags, so configuration differences can
+    surface as part of a discriminating pattern.
+``event:<kind>``
+    Warning/error/info events, plus ``event:span_error`` for spans
+    carrying an ``error`` attribute.
+``req:...``
+    Serving request facets (outcome, bucketed row counts) for
+    ``TraceEventLog`` traces, which sessionize one session *per
+    request event* rather than one per file.
+
+Determinism is a contract: spans are ordered by ``(start_unix, id)``
+and events by ``(time_unix, kind, message)`` before any aggregation, so
+the same trace files produce a byte-identical corpus
+(:meth:`SessionCorpus.content_bytes`) regardless of the physical line
+order the schema permits — hypothesis-tested in
+``tests/test_obs_sessions.py``.
+
+Like everything in ``repro.obs``, this module uses only the standard
+library and must not import from the rest of ``repro``; the conversion
+to :class:`~repro.datasets.transactions.TransactionDataset` lives in
+:mod:`repro.obs.diagnose`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from .metrics import Histogram
+from .report import TraceData, load_trace
+
+__all__ = [
+    "DURATION_SUBDIV",
+    "DEFAULT_CONFIG_EXCLUDE",
+    "Session",
+    "SessionCorpus",
+    "SessionizerConfig",
+    "SymbolBuilder",
+    "label_by_failure",
+    "label_by_quantile",
+    "quantile_threshold",
+    "sessionize_trace",
+    "sessionize_traces",
+    "span_path_sessions",
+    "span_symbols",
+]
+
+#: Coarse sub-bucketing for duration items: ``subdiv=1`` gives
+#: power-of-two buckets, wide enough that run-to-run timing noise rarely
+#: crosses an edge while a real regression crosses several.
+DURATION_SUBDIV = 1
+
+#: How many cumulative power-of-two ``ge`` threshold items accompany each
+#: exact duration bucket (thresholds from the bucket's low edge down).
+DURATION_GE_LEVELS = 8
+
+#: Manifest config keys that identify the run *artifact* rather than its
+#: behavior — including them would make every trace trivially separable
+#: by its own output path.
+DEFAULT_CONFIG_EXCLUDE = frozenset(
+    {"trace", "trace_memory", "output", "out", "out_dir", "command"}
+)
+
+#: Counter-name fragments whose nonzero value marks a degraded run.
+_DEGRADED_FRAGMENTS = ("degraded_partitions", "degraded_classes")
+
+#: Event kinds that mark a session as failed.
+_FAILURE_KINDS = frozenset({"warning", "error"})
+
+
+@dataclass(frozen=True)
+class SessionizerConfig:
+    """Featurization knobs; the defaults are what ``repro diagnose`` uses."""
+
+    duration_subdiv: int = DURATION_SUBDIV
+    include_config: bool = True
+    config_exclude: frozenset[str] = DEFAULT_CONFIG_EXCLUDE
+
+
+@dataclass(frozen=True)
+class Session:
+    """One transaction: a labeled-ish bag of items plus an ordered view.
+
+    ``items`` is the sorted, deduplicated symbol set (the itemset
+    pipeline's transaction); ``sequence`` is the chronological symbol
+    stream (the ``prefixspan`` pipeline's sequence).  ``wall_s`` and
+    ``failed`` are the raw signals the labelers threshold.
+    """
+
+    source: str
+    items: tuple[str, ...]
+    sequence: tuple[str, ...]
+    wall_s: float
+    failed: bool
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "source": self.source,
+            "items": list(self.items),
+            "sequence": list(self.sequence),
+            "wall_s": self.wall_s,
+            "failed": self.failed,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "Session":
+        return cls(
+            source=str(payload["source"]),
+            items=tuple(payload["items"]),
+            sequence=tuple(payload["sequence"]),
+            wall_s=float(payload["wall_s"]),
+            failed=bool(payload["failed"]),
+        )
+
+
+class SymbolBuilder:
+    """Builds (and interns) the item symbols both the sessionizer and the
+    synthetic generator emit, so the two corpora share one vocabulary.
+
+    Interning matters at scale: a 100k-session corpus holds millions of
+    symbol *references* but only a few hundred distinct strings.
+    """
+
+    def __init__(self, duration_subdiv: int = DURATION_SUBDIV) -> None:
+        self._bucketer = Histogram(duration_subdiv)
+        self._interned: dict[str, str] = {}
+        self._span_cache: dict[str, tuple[str, ...]] = {}
+        self._dur_cache: dict[tuple[str, int | None], tuple[str, ...]] = {}
+
+    def intern(self, symbol: str) -> str:
+        return self._interned.setdefault(symbol, symbol)
+
+    def span(self, name: str) -> tuple[str, ...]:
+        """Concept-hierarchy symbols of a dotted span name, root first."""
+        cached = self._span_cache.get(name)
+        if cached is None:
+            cached = tuple(self.intern(s) for s in span_symbols(name))
+            self._span_cache[name] = cached
+        return cached
+
+    def durations(self, name: str, seconds: float) -> tuple[str, ...]:
+        """All duration items for one wall-time observation: the exact
+        bucket plus its cumulative ``ge`` threshold items."""
+        bucketer = self._bucketer
+        index = None if seconds <= 0 else bucketer.bucket_index(seconds)
+        key = (name, index)
+        cached = self._dur_cache.get(key)
+        if cached is None:
+            symbols = [
+                self.intern(f"dur:{name}:{bucketer.bucket_label(seconds)}")
+            ]
+            if seconds > 0:
+                low_exp = (index - 1) / bucketer.subdiv
+                for level in range(DURATION_GE_LEVELS):
+                    threshold = 2.0 ** (low_exp - level)
+                    symbols.append(
+                        self.intern(f"dur:{name}:ge{threshold:.6g}")
+                    )
+            cached = tuple(symbols)
+            self._dur_cache[key] = cached
+        return cached
+
+    def config(self, key: str, value: Any) -> str:
+        if isinstance(value, float):
+            value = f"{value:.6g}"
+        return self.intern(f"cfg:{key}={value}")
+
+    def event(self, kind: str) -> str:
+        return self.intern(f"event:{kind}")
+
+
+def span_symbols(name: str) -> list[str]:
+    """``mining.generate`` -> ``["span:mining", "span:mining.generate"]``."""
+    parts = name.split(".")
+    return [
+        "span:" + ".".join(parts[: depth + 1]) for depth in range(len(parts))
+    ]
+
+
+def _config_items(
+    manifest: dict[str, Any], config: SessionizerConfig, builder: SymbolBuilder
+) -> list[str]:
+    if not config.include_config:
+        return []
+    items = []
+    for key, value in (manifest.get("config") or {}).items():
+        if key in config.config_exclude or value is None:
+            continue
+        if isinstance(value, (bool, int, float, str)):
+            items.append(builder.config(key, value))
+    return items
+
+
+def _sorted_spans(trace: TraceData) -> list[dict]:
+    return sorted(
+        trace.spans,
+        key=lambda s: (float(s.get("start_unix", 0.0)), str(s.get("id", ""))),
+    )
+
+
+def _sorted_events(trace: TraceData) -> list[dict]:
+    return sorted(
+        trace.events,
+        key=lambda e: (
+            float(e.get("time_unix", 0.0)),
+            str(e.get("kind", "")),
+            str(e.get("message", "")),
+        ),
+    )
+
+
+def _pipeline_session(
+    trace: TraceData,
+    source: str,
+    config: SessionizerConfig,
+    builder: SymbolBuilder,
+) -> Session:
+    """One whole traced run -> one session."""
+    spans = _sorted_spans(trace)
+    events = _sorted_events(trace)
+    items: set[str] = set(_config_items(trace.manifest, config, builder))
+
+    name_wall: dict[str, float] = {}
+    wall_s = 0.0
+    failed = False
+    timeline: list[tuple[float, int, str, str]] = []
+    for span in spans:
+        name = str(span.get("name", ""))
+        items.update(builder.span(name))
+        name_wall[name] = name_wall.get(name, 0.0) + float(
+            span.get("wall_s", 0.0)
+        )
+        if span.get("parent") is None:
+            wall_s += float(span.get("wall_s", 0.0))
+        if (span.get("attrs") or {}).get("error"):
+            items.add(builder.event("span_error"))
+            failed = True
+        timeline.append(
+            (
+                float(span.get("start_unix", 0.0)),
+                0,
+                str(span.get("id", "")),
+                builder.span(name)[-1],
+            )
+        )
+    for name in name_wall:
+        items.update(builder.durations(name, name_wall[name]))
+    for entry in events:
+        kind = str(entry.get("kind", ""))
+        items.add(builder.event(kind))
+        if kind in _FAILURE_KINDS:
+            failed = True
+        timeline.append(
+            (
+                float(entry.get("time_unix", 0.0)),
+                1,
+                str(entry.get("message", "")),
+                builder.event(kind),
+            )
+        )
+    for name, value in trace.counters.items():
+        if value and any(frag in name for frag in _DEGRADED_FRAGMENTS):
+            failed = True
+            items.add(builder.intern("event:degraded"))
+    timeline.sort()
+    return Session(
+        source=source,
+        items=tuple(sorted(items)),
+        sequence=tuple(symbol for _, _, _, symbol in timeline),
+        wall_s=wall_s,
+        failed=failed,
+    )
+
+
+def _request_sessions(
+    trace: TraceData,
+    source: str,
+    config: SessionizerConfig,
+    builder: SymbolBuilder,
+) -> list[Session]:
+    """A serving event log -> one session per ``serving.request`` event."""
+    base_items = tuple(_config_items(trace.manifest, config, builder))
+    sessions = []
+    for entry in _sorted_events(trace):
+        if entry.get("kind") != "serving.request":
+            continue
+        attrs = entry.get("attrs") or {}
+        outcome = str(attrs.get("outcome", "ok"))
+        outcome_item = builder.intern(f"req:outcome={outcome}")
+        items = set(base_items)
+        items.add(outcome_item)
+        for field, name in (
+            ("latency_s", "serving.latency"),
+            ("queue_wait_s", "serving.queue_wait"),
+            ("execute_s", "serving.execute"),
+        ):
+            if field in attrs:
+                items.update(builder.durations(name, float(attrs[field])))
+        if "rows" in attrs:
+            bucket = builder._bucketer.bucket_label(float(attrs["rows"]))
+            items.add(builder.intern(f"req:rows:{bucket}"))
+        if attrs.get("dropped_unknown_items"):
+            items.add(builder.intern("req:dropped_unknown"))
+        sessions.append(
+            Session(
+                source=f"{source}#req{attrs.get('request_id', len(sessions))}",
+                items=tuple(sorted(items)),
+                sequence=(builder.event("serving.request"), outcome_item),
+                wall_s=float(attrs.get("latency_s", 0.0)),
+                failed=outcome != "ok",
+            )
+        )
+    return sessions
+
+
+def sessionize_trace(
+    trace: TraceData,
+    source: str,
+    config: SessionizerConfig | None = None,
+    builder: SymbolBuilder | None = None,
+) -> list[Session]:
+    """Turn one parsed trace into its sessions.
+
+    A trace carrying ``serving.request`` events (a
+    :class:`~repro.serving.telemetry.TraceEventLog` file) yields one
+    session per request; any other trace — including a span-free one —
+    yields exactly one session for the whole run.
+    """
+    config = config or SessionizerConfig()
+    builder = builder or SymbolBuilder(config.duration_subdiv)
+    if any(e.get("kind") == "serving.request" for e in trace.events):
+        return _request_sessions(trace, source, config, builder)
+    return [_pipeline_session(trace, source, config, builder)]
+
+
+def sessionize_traces(
+    paths: Iterable[str | Path],
+    config: SessionizerConfig | None = None,
+) -> "SessionCorpus":
+    """Sessionize many trace files into one corpus (order-preserving)."""
+    config = config or SessionizerConfig()
+    builder = SymbolBuilder(config.duration_subdiv)
+    sessions: list[Session] = []
+    for path in paths:
+        trace = load_trace(path)
+        sessions.extend(
+            sessionize_trace(trace, str(path), config, builder)
+        )
+    return SessionCorpus(sessions)
+
+
+def span_path_sessions(
+    trace: TraceData,
+    source: str,
+    config: SessionizerConfig | None = None,
+    builder: SymbolBuilder | None = None,
+) -> list[Session]:
+    """One session *per aggregated span path* — the granularity
+    ``repro trace diff --explain`` mines at.
+
+    Each distinct tree path (:func:`repro.obs.analysis.aggregate_paths`)
+    becomes a single transaction of its components' hierarchy symbols
+    plus the path's *self* wall time bucketed into duration items.
+    Aggregating per path (not per occurrence) is what keeps the
+    base-vs-candidate mining honest: a span that runs twice per trace
+    still contributes one transaction per side, so occurrence
+    multiplicity cannot buy a repeated-but-noisy span more information
+    gain than a genuinely regressed single-occurrence span.  With every
+    side-unique pattern tied on IG, the covered-wall tiebreak surfaces
+    the path where the most time actually moved.
+    """
+    from .analysis import aggregate_paths
+
+    config = config or SessionizerConfig()
+    builder = builder or SymbolBuilder(config.duration_subdiv)
+    error_names = {
+        str(span.get("name", ""))
+        for span in trace.spans
+        if (span.get("attrs") or {}).get("error")
+    }
+    sessions = []
+    for path, agg in sorted(aggregate_paths(trace).items()):
+        components = path.split("/")
+        items: set[str] = set()
+        for component in components:
+            items.update(builder.span(component))
+        self_wall = float(agg.get("self_wall_s", 0.0))
+        items.update(builder.durations(path, self_wall))
+        failed = components[-1] in error_names
+        if failed:
+            items.add(builder.event("span_error"))
+        sessions.append(
+            Session(
+                source=f"{source}#{path}",
+                items=tuple(sorted(items)),
+                sequence=(builder.span(components[-1])[-1],),
+                wall_s=self_wall,
+                failed=failed,
+            )
+        )
+    return sessions
+
+
+class SessionCorpus:
+    """An ordered collection of sessions with a shared sorted vocabulary."""
+
+    def __init__(self, sessions: Iterable[Session]) -> None:
+        self.sessions = list(sessions)
+        self._vocabulary: tuple[str, ...] | None = None
+
+    def __len__(self) -> int:
+        return len(self.sessions)
+
+    @property
+    def vocabulary(self) -> tuple[str, ...]:
+        """Every distinct symbol, sorted — the item-id mapping."""
+        if self._vocabulary is None:
+            symbols: set[str] = set()
+            for session in self.sessions:
+                symbols.update(session.items)
+                symbols.update(session.sequence)
+            self._vocabulary = tuple(sorted(symbols))
+        return self._vocabulary
+
+    def encode(self) -> tuple[list[tuple[int, ...]], list[tuple[int, ...]]]:
+        """Integer-encoded ``(transactions, sequences)`` over
+        :attr:`vocabulary` — the mining engine's input shape."""
+        index = {symbol: i for i, symbol in enumerate(self.vocabulary)}
+        transactions = [
+            tuple(index[symbol] for symbol in session.items)
+            for session in self.sessions
+        ]
+        sequences = [
+            tuple(index[symbol] for symbol in session.sequence)
+            for session in self.sessions
+        ]
+        return transactions, sequences
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "format": 1,
+            "sessions": [session.to_payload() for session in self.sessions],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "SessionCorpus":
+        return cls(
+            Session.from_payload(entry) for entry in payload["sessions"]
+        )
+
+    def content_bytes(self) -> bytes:
+        """Canonical serialization — the byte-identity the determinism
+        contract is stated (and tested) against."""
+        return json.dumps(
+            self.to_payload(), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+
+
+# -- labelers ----------------------------------------------------------
+def quantile_threshold(values: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile (deterministic, no interpolation)."""
+    if not values:
+        raise ValueError("cannot take a quantile of an empty corpus")
+    if not 0.0 < q <= 1.0:
+        raise ValueError("quantile must be in (0, 1]")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def label_by_quantile(
+    corpus: SessionCorpus, quantile: float = 0.75
+) -> tuple[list[int], tuple[str, str]]:
+    """Slow/fast labels: sessions strictly above the wall-time quantile
+    threshold are class 1 (``slow``)."""
+    threshold = quantile_threshold(
+        [session.wall_s for session in corpus.sessions], quantile
+    )
+    labels = [
+        1 if session.wall_s > threshold else 0 for session in corpus.sessions
+    ]
+    return labels, ("fast", "slow")
+
+
+def label_by_failure(
+    corpus: SessionCorpus,
+) -> tuple[list[int], tuple[str, str]]:
+    """Failed/clean labels from error events, error-attributed spans and
+    degraded-partition counters (class 1 = ``failed``)."""
+    labels = [1 if session.failed else 0 for session in corpus.sessions]
+    return labels, ("clean", "failed")

@@ -1,0 +1,241 @@
+"""Config-driven synthetic session generator (the diagnose stress corpus).
+
+Real trace corpora are expensive to stage at scale; this module fabricates
+:class:`~repro.obs.sessions.Session` objects directly — same symbol
+vocabulary as the sessionizer (shared :class:`~repro.obs.sessions.SymbolBuilder`),
+so a synthetic corpus and a sessionized one are interchangeable inputs to
+:func:`repro.obs.diagnose.diagnose_corpus`.
+
+The generative model is deliberately simple and fully seeded:
+
+* **personas** — weighted session archetypes (which spans run, their
+  median durations, their config flags), modeling a mixed workload;
+* **motifs** — injected anomalies: a *slow-span* motif multiplies one
+  span's duration for a fraction of sessions (a staged performance
+  regression), a *failure* motif emits a warning event and marks the
+  session failed.
+
+One ``random.Random(seed)`` drives everything, so the same config is
+byte-identical corpus in, byte-identical diagnosis out — the property
+the golden-fixture test pins.  Generation is O(sessions × spans) with
+interned symbols; ~100k sessions fit comfortably in memory and are the
+benchmark floor (``benchmarks/test_diagnose_scaling.py``).
+
+Stdlib only, like the rest of ``repro.obs``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from .sessions import DURATION_SUBDIV, Session, SessionCorpus, SymbolBuilder
+
+__all__ = [
+    "Motif",
+    "Persona",
+    "SynthConfig",
+    "default_config",
+    "generate_sessions",
+]
+
+
+@dataclass(frozen=True)
+class Persona:
+    """One session archetype: spans it runs, config it carries."""
+
+    name: str
+    weight: float = 1.0
+    #: ``(span_name, median_seconds)`` in execution order.
+    spans: tuple[tuple[str, float], ...] = ()
+    #: ``(key, value)`` manifest config flags.
+    config: tuple[tuple[str, str], ...] = ()
+    #: Lognormal sigma of per-span duration jitter.
+    jitter: float = 0.25
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Persona":
+        return cls(
+            name=str(payload["name"]),
+            weight=float(payload.get("weight", 1.0)),
+            spans=tuple(
+                (str(name), float(median))
+                for name, median in payload.get("spans", [])
+            ),
+            config=tuple(
+                (str(k), str(v)) for k, v in payload.get("config", [])
+            ),
+            jitter=float(payload.get("jitter", 0.25)),
+        )
+
+
+@dataclass(frozen=True)
+class Motif:
+    """An injected anomaly hitting a random ``rate`` fraction of sessions."""
+
+    name: str
+    rate: float
+    #: Multiply this span's duration by ``slow_factor`` (perf regression).
+    slow_span: str | None = None
+    slow_factor: float = 16.0
+    #: Emit this event kind and mark the session failed.
+    fail_event: str | None = None
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Motif":
+        return cls(
+            name=str(payload["name"]),
+            rate=float(payload["rate"]),
+            slow_span=payload.get("slow_span"),
+            slow_factor=float(payload.get("slow_factor", 16.0)),
+            fail_event=payload.get("fail_event"),
+        )
+
+
+#: Personas shaped like the repo's own workloads: a mining pipeline run,
+#: an evaluation run, and a serving batch.
+DEFAULT_PERSONAS = (
+    Persona(
+        name="miner",
+        weight=0.5,
+        spans=(
+            ("cli.mine", 0.004),
+            ("mining.generate", 0.06),
+            ("mining.partition", 0.025),
+            ("selection.mmrfs", 0.03),
+        ),
+        config=(("command", "mine"), ("miner", "closed")),
+    ),
+    Persona(
+        name="evaluator",
+        weight=0.3,
+        spans=(
+            ("cli.evaluate", 0.004),
+            ("mining.generate", 0.05),
+            ("eval.cv_fold", 0.045),
+            ("model.train", 0.03),
+        ),
+        config=(("command", "evaluate"), ("model", "svm")),
+    ),
+    Persona(
+        name="server",
+        weight=0.2,
+        spans=(
+            ("serving.request", 0.002),
+            ("serving.match", 0.004),
+            ("serving.decide", 0.001),
+        ),
+        config=(("command", "serve"),),
+    ),
+)
+
+#: Default anomalies: a 12% slow-span regression in ``mining.generate``
+#: and a 4% failure motif.
+DEFAULT_MOTIFS = (
+    Motif(name="slow-generate", rate=0.12, slow_span="mining.generate"),
+    Motif(name="flaky-warning", rate=0.04, fail_event="warning"),
+)
+
+
+@dataclass(frozen=True)
+class SynthConfig:
+    """Everything that determines a synthetic corpus, JSON-loadable."""
+
+    n_sessions: int = 1000
+    seed: int = 0
+    personas: tuple[Persona, ...] = DEFAULT_PERSONAS
+    motifs: tuple[Motif, ...] = DEFAULT_MOTIFS
+    duration_subdiv: int = DURATION_SUBDIV
+
+    @classmethod
+    def from_dict(
+        cls,
+        payload: Mapping[str, Any],
+        n_sessions: int | None = None,
+        seed: int | None = None,
+    ) -> "SynthConfig":
+        """Parse a JSON config document (CLI ``--synthetic-config``).
+
+        ``n_sessions``/``seed`` arguments override the document, so one
+        config file scales from smoke test to stress corpus.
+        """
+        personas = tuple(
+            Persona.from_dict(entry) for entry in payload.get("personas", [])
+        ) or DEFAULT_PERSONAS
+        motifs = tuple(
+            Motif.from_dict(entry) for entry in payload.get("motifs", [])
+        )
+        if "motifs" not in payload:
+            motifs = DEFAULT_MOTIFS
+        return cls(
+            n_sessions=int(
+                payload.get("n_sessions", 1000) if n_sessions is None else n_sessions
+            ),
+            seed=int(payload.get("seed", 0) if seed is None else seed),
+            personas=personas,
+            motifs=motifs,
+            duration_subdiv=int(
+                payload.get("duration_subdiv", DURATION_SUBDIV)
+            ),
+        )
+
+
+def default_config(n_sessions: int = 1000, seed: int = 0) -> SynthConfig:
+    """The built-in workload mix (``repro diagnose --synthetic N``)."""
+    return SynthConfig(n_sessions=n_sessions, seed=seed)
+
+
+def generate_sessions(config: SynthConfig) -> SessionCorpus:
+    """Generate the corpus ``config`` describes (seeded, deterministic)."""
+    if config.n_sessions < 1:
+        raise ValueError("n_sessions must be >= 1")
+    if not config.personas:
+        raise ValueError("at least one persona is required")
+    rng = random.Random(config.seed)
+    builder = SymbolBuilder(config.duration_subdiv)
+    total_weight = sum(p.weight for p in config.personas)
+    cumulative: list[tuple[float, Persona]] = []
+    acc = 0.0
+    for persona in config.personas:
+        acc += persona.weight
+        cumulative.append((acc, persona))
+
+    sessions: list[Session] = []
+    for i in range(config.n_sessions):
+        pick = rng.random() * total_weight
+        persona = next(p for edge, p in cumulative if pick <= edge)
+        active = [m for m in config.motifs if rng.random() < m.rate]
+
+        items: set[str] = set()
+        sequence: list[str] = []
+        wall = 0.0
+        failed = False
+        for name, median in persona.spans:
+            duration = median * rng.lognormvariate(0.0, persona.jitter)
+            for motif in active:
+                if motif.slow_span == name:
+                    duration *= motif.slow_factor
+            hierarchy = builder.span(name)
+            items.update(hierarchy)
+            items.update(builder.durations(name, duration))
+            sequence.append(hierarchy[-1])
+            wall += duration
+        for motif in active:
+            if motif.fail_event:
+                symbol = builder.event(motif.fail_event)
+                items.add(symbol)
+                sequence.append(symbol)
+                failed = True
+        for key, value in persona.config:
+            items.add(builder.config(key, value))
+        sessions.append(
+            Session(
+                source=f"synth:{config.seed}:{i}",
+                items=tuple(sorted(items)),
+                sequence=tuple(sequence),
+                wall_s=wall,
+                failed=failed,
+            )
+        )
+    return SessionCorpus(sessions)

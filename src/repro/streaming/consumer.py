@@ -290,13 +290,36 @@ def run_stream(
             _write_manifest(manifest_path, spec, key, len(events))
             state = _StreamState(spec)
 
+        # Progress heartbeats: per-seal done/total counters plus an ETA
+        # series, so a long stream is observable while it runs.  ETA is
+        # computed from this run's own throughput (a resumed run does
+        # not pay for events a previous process already consumed).
+        progress_started = time.perf_counter()
+        resumed_at = state.events_consumed
+        _obs.add("progress.stream.events_total", len(events))
+        if spec.shard_rows > 0:
+            _obs.add(
+                "progress.stream.seals_total", len(events) // spec.shard_rows
+            )
+        if resumed_at:
+            _obs.add("progress.stream.events_done", resumed_at)
+
         for items, label in events[state.events_consumed :]:
             sealed = state.window.append(items, label)
             state.events_consumed += 1
             _obs.add("streaming.events")
+            _obs.add("progress.stream.events_done")
             if sealed is None:
                 continue
             _advance(state, sealed)
+            _obs.add("progress.stream.seals_done")
+            processed = state.events_consumed - resumed_at
+            if processed > 0:
+                elapsed = time.perf_counter() - progress_started
+                remaining = len(events) - state.events_consumed
+                _obs.record(
+                    "progress.stream.eta_s", elapsed * remaining / processed
+                )
             # Checkpoint first, then the fault seam: a kill at the seam
             # finds this shard durable and resumes after it.
             cache.put(

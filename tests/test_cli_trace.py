@@ -87,6 +87,66 @@ class TestTraceFlag:
         assert active() is None
 
 
+class TestServingEventLogTraces:
+    """``trace diff`` / ``trace top`` accept schema-v2 serving event logs
+    (span-free traces) without error — they render empty phase tables,
+    and ``--explain`` degrades to a note instead of crashing."""
+
+    def _event_log(self, path, execute_s=0.01):
+        from repro.serving import (
+            ServingTelemetry,
+            TelemetryConfig,
+            TraceEventLog,
+        )
+
+        log = TraceEventLog(path, config={"model": "m"})
+        telemetry = ServingTelemetry(
+            TelemetryConfig(sample_every=1), event_log=log
+        )
+        for i in range(5):
+            telemetry.record_request(
+                request_id=i, rows=3, queue_wait_s=0.001,
+                execute_s=execute_s, now=float(i),
+            )
+        telemetry.close()
+        return path
+
+    def test_event_log_is_schema_valid(self, tmp_path):
+        path = self._event_log(tmp_path / "serving.jsonl")
+        assert validate_file(path) == []
+
+    def test_trace_top_accepts_event_log(self, tmp_path):
+        path = self._event_log(tmp_path / "serving.jsonl")
+        out = run_cli("trace", "top", str(path))
+        assert "phase" in out
+
+    def test_trace_diff_accepts_event_logs(self, tmp_path):
+        a = self._event_log(tmp_path / "a.jsonl")
+        b = self._event_log(tmp_path / "b.jsonl", execute_s=0.02)
+        out = run_cli("trace", "diff", str(a), str(b))
+        assert "within noise" in out
+
+    def test_trace_diff_explain_degrades_without_spans(self, tmp_path):
+        a = self._event_log(tmp_path / "a.jsonl")
+        b = self._event_log(tmp_path / "b.jsonl")
+        out = run_cli("trace", "diff", str(a), str(b), "--explain")
+        assert "explain unavailable" in out
+
+    def test_trace_diff_explain_json_degrades_without_spans(self, tmp_path):
+        a = self._event_log(tmp_path / "a.jsonl")
+        b = self._event_log(tmp_path / "b.jsonl")
+        out = run_cli("trace", "diff", str(a), str(b), "--json")
+        diff = json.loads(out)
+        assert diff["summary"]["within_noise"]
+
+    def test_event_log_sessionizes_per_request(self, tmp_path):
+        from repro.obs import sessionize_traces
+
+        path = self._event_log(tmp_path / "serving.jsonl")
+        corpus = sessionize_traces([path])
+        assert len(corpus) == 5
+
+
 class TestReportCommand:
     def _traced_run(self, tmp_path):
         trace_path = tmp_path / "mine.jsonl"

@@ -126,6 +126,51 @@ class TestHistogramBasics:
         assert clone.summary() == hist.summary()
 
 
+class TestBucketHelpers:
+    """The public bucket-edge/label API the sessionizer featurizes with."""
+
+    def test_bucket_edges_bracket_the_value(self):
+        hist = Histogram()
+        for value in (0.003, 0.25, 1.0, 1.7, 42.0, 1e6):
+            low, high = hist.bucket_edges(hist.bucket_index(value))
+            assert low < value <= high
+
+    def test_bucket_label_names_the_high_edge(self):
+        hist = Histogram(subdiv=1)
+        assert hist.bucket_label(1.5) == "le2"
+        assert hist.bucket_label(2.0) == "le2"
+        assert hist.bucket_label(2.0001) == "le4"
+        assert hist.bucket_label(0.6) == "le1"
+
+    def test_zero_and_negative_get_the_zero_label(self):
+        from repro.obs.metrics import ZERO_BUCKET_LABEL
+
+        hist = Histogram()
+        assert hist.bucket_label(0.0) == ZERO_BUCKET_LABEL
+        assert hist.bucket_label(-3.0) == ZERO_BUCKET_LABEL
+
+    def test_nan_label_raises(self):
+        with pytest.raises(ValueError):
+            Histogram().bucket_label(float("nan"))
+
+    @given(
+        value=st.floats(min_value=1e-9, max_value=1e9, allow_nan=False),
+        subdiv=st.sampled_from([1, 4, 8]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_edges_round_trip_with_bucket_index(self, value, subdiv):
+        """Any value's labeled bucket contains it, adjacent buckets tile
+        the line (high edge of i == low edge of i+1), and the label is
+        exactly the rendered high edge."""
+        hist = Histogram(subdiv=subdiv)
+        index = hist.bucket_index(value)
+        low, high = hist.bucket_edges(index)
+        assert low < value <= high
+        next_low, _ = hist.bucket_edges(index + 1)
+        assert next_low == pytest.approx(high, rel=1e-12)
+        assert hist.bucket_label(value) == f"le{high:.6g}"
+
+
 values_strategy = st.lists(
     st.floats(
         min_value=1e-9, max_value=1e9, allow_nan=False, allow_infinity=False

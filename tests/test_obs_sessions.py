@@ -1,0 +1,317 @@
+"""Tests for the trace sessionizer (repro.obs.sessions).
+
+The load-bearing contracts: (1) determinism — the same trace files
+produce a byte-identical corpus regardless of the physical line order
+the schema permits (manifest first, rollup last, everything else free),
+hypothesis-tested by shuffling interior lines; (2) both trace dialects
+sessionize — a v1 pipeline trace yields one whole-run session, a
+schema-v2 serving ``TraceEventLog`` yields one session per request
+event; (3) the featurization is the documented vocabulary (hierarchical
+span items, cumulative duration-threshold items, config flags, events).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import load_trace
+from repro.obs.sessions import (
+    DURATION_GE_LEVELS,
+    Session,
+    SessionCorpus,
+    SessionizerConfig,
+    SymbolBuilder,
+    label_by_failure,
+    label_by_quantile,
+    quantile_threshold,
+    sessionize_trace,
+    sessionize_traces,
+    span_path_sessions,
+    span_symbols,
+)
+
+V1_FIXTURE = Path(__file__).parent / "data" / "trace_v1.jsonl"
+
+
+def v1_lines():
+    return V1_FIXTURE.read_text(encoding="utf-8").strip().splitlines()
+
+
+class TestSymbolBuilder:
+    def test_span_concept_hierarchy(self):
+        assert span_symbols("mining.generate") == [
+            "span:mining",
+            "span:mining.generate",
+        ]
+        builder = SymbolBuilder()
+        assert builder.span("a.b.c") == ("span:a", "span:a.b", "span:a.b.c")
+
+    def test_duration_items_include_cumulative_thresholds(self):
+        builder = SymbolBuilder()
+        items = builder.durations("step", 1.5)
+        # Exact bucket (1, 2] plus DURATION_GE_LEVELS thresholds at and
+        # below the bucket's low edge.
+        assert items[0] == "dur:step:le2"
+        assert "dur:step:ge1" in items
+        assert "dur:step:ge0.5" in items
+        assert len(items) == 1 + DURATION_GE_LEVELS
+
+    def test_straddling_values_share_threshold_items(self):
+        # The quantitative-itemset property: two observations on either
+        # side of a bucket edge still share every threshold below both.
+        builder = SymbolBuilder()
+        fast = set(builder.durations("step", 0.99))
+        slow = set(builder.durations("step", 1.01))
+        shared = fast & slow
+        assert any(item.startswith("dur:step:ge") for item in shared)
+
+    def test_zero_duration_has_no_thresholds(self):
+        builder = SymbolBuilder()
+        assert builder.durations("step", 0.0) == ("dur:step:zero",)
+
+    def test_interning_returns_identical_objects(self):
+        builder = SymbolBuilder()
+        first = builder.durations("step", 1.5)
+        second = builder.durations("step", 1.5)
+        assert first is second
+
+    def test_config_and_event_symbols(self):
+        builder = SymbolBuilder()
+        assert builder.config("miner", "closed") == "cfg:miner=closed"
+        assert builder.config("scale", 0.2) == "cfg:scale=0.2"
+        assert builder.event("warning") == "event:warning"
+
+
+class TestPipelineSessionizer:
+    def test_v1_fixture_sessionizes_to_one_session(self):
+        trace = load_trace(V1_FIXTURE)
+        sessions = sessionize_trace(trace, "v1")
+        assert len(sessions) == 1
+        [session] = sessions
+        assert "span:cli.mine" in session.items
+        assert "span:mining" in session.items
+        assert "span:mining.generate" in session.items
+        assert "cfg:miner=closed" in session.items
+        assert "event:info" in session.items
+        assert any(i.startswith("dur:mining.partition:") for i in session.items)
+        # Wall time comes from the root span; the fixture is clean.
+        assert session.wall_s == pytest.approx(0.0512)
+        assert not session.failed
+
+    def test_artifact_config_keys_are_excluded(self):
+        trace = load_trace(V1_FIXTURE)
+        [session] = sessionize_trace(trace, "v1")
+        assert not any("cfg:trace=" in i for i in session.items)
+        assert not any("cfg:output=" in i for i in session.items)
+
+    def test_sequence_is_chronological_span_order(self):
+        trace = load_trace(V1_FIXTURE)
+        [session] = sessionize_trace(trace, "v1")
+        spans = [s for s in session.sequence if s.startswith("span:")]
+        assert spans == [
+            "span:cli.mine",
+            "span:mining.generate",
+            "span:mining.partition",
+            "span:mining.partition",
+        ]
+
+    def test_repeated_span_durations_aggregate_per_name(self):
+        trace = load_trace(V1_FIXTURE)
+        [session] = sessionize_trace(trace, "v1")
+        # Two mining.partition spans (0.0147 + 0.0152 s) produce one
+        # total-wall bucket item, not one per occurrence.
+        partition_buckets = [
+            i
+            for i in session.items
+            if i.startswith("dur:mining.partition:le")
+        ]
+        assert len(partition_buckets) == 1
+
+    def test_warning_event_marks_failed(self, tmp_path):
+        lines = v1_lines()
+        lines.insert(
+            -1,
+            json.dumps(
+                {
+                    "type": "event",
+                    "kind": "warning",
+                    "message": "degraded",
+                    "time_unix": 1746000000.04,
+                    "attrs": {},
+                }
+            ),
+        )
+        path = tmp_path / "warn.jsonl"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        [session] = sessionize_trace(load_trace(path), "warn")
+        assert session.failed
+        assert "event:warning" in session.items
+
+    def test_degraded_counter_marks_failed(self, tmp_path):
+        lines = v1_lines()
+        lines.insert(
+            -1,
+            json.dumps(
+                {
+                    "type": "counter",
+                    "name": "mining.sharded.degraded_classes",
+                    "value": 1,
+                }
+            ),
+        )
+        path = tmp_path / "degraded.jsonl"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        [session] = sessionize_trace(load_trace(path), "degraded")
+        assert session.failed
+        assert "event:degraded" in session.items
+
+
+class TestRequestSessionizer:
+    def _event_log_trace(self, tmp_path, outcomes=("ok", "ok", "error")):
+        from repro.serving import ServingTelemetry, TelemetryConfig, TraceEventLog
+
+        path = tmp_path / "serving.jsonl"
+        log = TraceEventLog(path, config={"model": "m1"})
+        telemetry = ServingTelemetry(
+            TelemetryConfig(sample_every=1), event_log=log
+        )
+        for i, outcome in enumerate(outcomes):
+            telemetry.record_request(
+                request_id=i,
+                rows=4 + i,
+                queue_wait_s=0.001,
+                execute_s=0.01 * (i + 1),
+                outcome=outcome,
+                now=float(i),
+            )
+        telemetry.close()
+        return path
+
+    def test_event_log_yields_one_session_per_request(self, tmp_path):
+        path = self._event_log_trace(tmp_path)
+        sessions = sessionize_trace(load_trace(path), str(path))
+        assert len(sessions) == 3
+        assert {s.failed for s in sessions} == {False, True}
+        ok = sessions[0]
+        assert "req:outcome=ok" in ok.items
+        assert any(i.startswith("dur:serving.latency:") for i in ok.items)
+        assert any(i.startswith("req:rows:") for i in ok.items)
+        assert ok.wall_s == pytest.approx(0.011)
+
+    def test_failure_labeler_tracks_outcomes(self, tmp_path):
+        path = self._event_log_trace(tmp_path, outcomes=("ok", "error"))
+        corpus = sessionize_traces([path])
+        labels, names = label_by_failure(corpus)
+        assert names == ("clean", "failed")
+        assert labels == [0, 1]
+
+
+class TestSpanPathSessions:
+    def test_one_session_per_aggregated_path(self):
+        trace = load_trace(V1_FIXTURE)
+        sessions = span_path_sessions(trace, "base")
+        # Four spans but three distinct tree paths: the two
+        # mining.partition occurrences collapse into one transaction.
+        assert len(sessions) == 3
+        sources = sorted(s.source for s in sessions)
+        assert sources == [
+            "base#cli.mine",
+            "base#cli.mine/mining.generate",
+            "base#cli.mine/mining.generate/mining.partition",
+        ]
+
+    def test_path_sessions_use_self_wall(self):
+        trace = load_trace(V1_FIXTURE)
+        by_source = {
+            s.source: s for s in span_path_sessions(trace, "base")
+        }
+        partition = by_source[
+            "base#cli.mine/mining.generate/mining.partition"
+        ]
+        assert partition.wall_s == pytest.approx(0.0147 + 0.0152)
+        generate = by_source["base#cli.mine/mining.generate"]
+        # Self wall excludes the partition children.
+        assert generate.wall_s == pytest.approx(0.0331 - 0.0299, abs=1e-6)
+
+
+class TestCorpus:
+    def test_vocabulary_and_encode_round_trip(self):
+        corpus = sessionize_traces([V1_FIXTURE])
+        vocabulary = corpus.vocabulary
+        assert vocabulary == tuple(sorted(set(vocabulary)))
+        transactions, sequences = corpus.encode()
+        assert len(transactions) == len(corpus) == len(sequences)
+        decoded = {vocabulary[i] for i in transactions[0]}
+        assert decoded == set(corpus.sessions[0].items)
+
+    def test_payload_round_trip_preserves_content_bytes(self):
+        corpus = sessionize_traces([V1_FIXTURE])
+        clone = SessionCorpus.from_payload(
+            json.loads(corpus.content_bytes().decode("utf-8"))
+        )
+        assert clone.content_bytes() == corpus.content_bytes()
+
+
+class TestDeterminism:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_interior_line_order_is_irrelevant(self, tmp_path_factory, seed):
+        """Shuffling the schema-free interior lines (manifest stays
+        first, rollup last) must not change a single corpus byte."""
+        import random
+
+        tmp_path = tmp_path_factory.mktemp("shuffle")
+        lines = v1_lines()
+        interior = lines[1:-1]
+        random.Random(seed).shuffle(interior)
+        shuffled = tmp_path / f"shuffled_{seed}.jsonl"
+        shuffled.write_text(
+            "\n".join([lines[0], *interior, lines[-1]]) + "\n",
+            encoding="utf-8",
+        )
+        reference = sessionize_traces([V1_FIXTURE]).content_bytes()
+        # Source strings must match for byte-identity, so sessionize the
+        # shuffled file under the canonical name.
+        shuffled_corpus = SessionCorpus(
+            sessionize_trace(load_trace(shuffled), str(V1_FIXTURE))
+        )
+        assert shuffled_corpus.content_bytes() == reference
+
+
+class TestLabelers:
+    def _corpus(self, walls, failed=None):
+        failed = failed or [False] * len(walls)
+        return SessionCorpus(
+            Session(
+                source=f"s{i}",
+                items=("span:x",),
+                sequence=("span:x",),
+                wall_s=wall,
+                failed=bad,
+            )
+            for i, (wall, bad) in enumerate(zip(walls, failed))
+        )
+
+    def test_quantile_threshold_nearest_rank(self):
+        assert quantile_threshold([1.0, 2.0, 3.0, 4.0], 0.5) == 2.0
+        assert quantile_threshold([1.0, 2.0, 3.0, 4.0], 0.75) == 3.0
+        assert quantile_threshold([5.0], 0.99) == 5.0
+        with pytest.raises(ValueError):
+            quantile_threshold([], 0.5)
+        with pytest.raises(ValueError):
+            quantile_threshold([1.0], 0.0)
+
+    def test_label_by_quantile_strictly_above(self):
+        corpus = self._corpus([1.0, 1.0, 1.0, 10.0])
+        labels, names = label_by_quantile(corpus, 0.75)
+        assert names == ("fast", "slow")
+        assert labels == [0, 0, 0, 1]
+
+    def test_label_by_failure(self):
+        corpus = self._corpus([1.0, 1.0], failed=[False, True])
+        labels, names = label_by_failure(corpus)
+        assert names == ("clean", "failed")
+        assert labels == [0, 1]
